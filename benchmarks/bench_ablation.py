@@ -1,0 +1,109 @@
+"""Ablations — the design choices DESIGN.md calls out, measured.
+
+Not a paper artifact, but the evaluation the paper implies: what do the
+color-flipping pass (contribution 4), the merge technique (contribution
+1), and the type 2-b routing penalty (Eq. 5's gamma term) buy? Each
+ablation routes the same instances with one mechanism disabled,
+averaged over three seeds (single instances are noisy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import FIXED_PIN_BENCHMARKS, generate_benchmark
+from repro.router import CostParams, SadpRouter
+
+from conftest import scale_for
+
+SEEDS = (2014, 7, 99)
+
+
+def run_variants(**kwargs) -> Dict[str, float]:
+    """Mean metrics of the Test2 instance family under one configuration."""
+    scale = scale_for("Test2")
+    overlay = routability = wirelength = ripups = conflicts = 0.0
+    for seed in SEEDS:
+        grid, nets = generate_benchmark(FIXED_PIN_BENCHMARKS[1], scale=scale, seed=seed)
+        result = SadpRouter(grid, nets, **kwargs).route_all()
+        overlay += result.overlay_nm
+        routability += result.routability * 100
+        wirelength += result.total_wirelength
+        ripups += result.total_ripups
+        conflicts += result.cut_conflicts
+    n = len(SEEDS)
+    return {
+        "overlay": overlay / n,
+        "rout": routability / n,
+        "wl": wirelength / n,
+        "ripups": ripups / n,
+        "conflicts": conflicts,
+    }
+
+
+def _report(results_dir, name: str, title: str, rows: List[str]) -> None:
+    text = title + "\n" + "\n".join(rows) + "\n"
+    print()
+    print(text)
+    (results_dir / name).write_text(text)
+
+
+def test_ablation_color_flipping(benchmark, results_dir):
+    full = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    no_flip = run_variants(enable_flipping=False)
+    _report(
+        results_dir,
+        "ablation_flipping.txt",
+        f"Ablation — color flipping (contribution 4), mean of {len(SEEDS)} seeds",
+        [
+            f"  with flipping   : overlay {full['overlay']:8.0f} nm, rout {full['rout']:5.1f}%",
+            f"  without flipping: overlay {no_flip['overlay']:8.0f} nm, rout {no_flip['rout']:5.1f}%",
+        ],
+    )
+    assert full["conflicts"] == 0 and no_flip["conflicts"] == 0
+    # Flipping must reduce mean overlay.
+    assert full["overlay"] < no_flip["overlay"]
+
+
+def test_ablation_merge_technique(benchmark, results_dir):
+    """Contribution 1: what the merge-and-cut odd-cycle trick buys."""
+    full = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    no_merge = run_variants(enable_merge=False)
+    _report(
+        results_dir,
+        "ablation_merge.txt",
+        f"Ablation — merge technique (contribution 1), mean of {len(SEEDS)} seeds",
+        [
+            f"  with merge    : rout {full['rout']:5.1f}%, wl {full['wl']:.0f}, ripups {full['ripups']:.1f}",
+            f"  without merge : rout {no_merge['rout']:5.1f}%, wl {no_merge['wl']:.0f}, ripups {no_merge['ripups']:.1f}",
+        ],
+    )
+    assert no_merge["conflicts"] == 0
+    # Without the merge technique, abutting tips force extra rip-up work
+    # and/or routability loss.
+    assert (
+        no_merge["rout"] < full["rout"] or no_merge["ripups"] > full["ripups"]
+    )
+
+
+def test_ablation_t2b_penalty(benchmark, results_dir):
+    full = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    no_t2b = run_variants(enable_t2b_penalty=False)
+    _report(
+        results_dir,
+        "ablation_t2b.txt",
+        f"Ablation — type 2-b penalty (Eq. 5 gamma), mean of {len(SEEDS)} seeds",
+        [
+            f"  with penalty    : overlay {full['overlay']:8.0f} nm, wl {full['wl']:.0f}",
+            f"  without penalty : overlay {no_t2b['overlay']:8.0f} nm, wl {no_t2b['wl']:.0f}",
+        ],
+    )
+    # Reproduction finding (see EXPERIMENTS.md): on our synthetic
+    # workloads the gamma term is roughly overlay-neutral — the detours
+    # it buys cost as much in other scenarios as the 2-b floors it
+    # avoids. We keep the paper's default for fidelity and only assert
+    # the guarantees and that the effect stays small either way.
+    assert no_t2b["conflicts"] == 0
+    assert abs(no_t2b["overlay"] - full["overlay"]) <= 0.5 * full["overlay"]

@@ -1,0 +1,66 @@
+"""Fig. 20 — router runtime as a function of the number of nets.
+
+The paper plots CPU time against net count and reports an empirical
+complexity of about n^1.42 (least-squares in log-log). We sweep instance
+sizes at fixed density and reproduce the fit; Python absolute times
+differ, the exponent must land in a sub-quadratic band.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import FIXED_PIN_BENCHMARKS, fit_power_law, generate_benchmark
+from repro.router import SadpRouter
+
+from conftest import scale_for
+
+#: Sweep points: multipliers on the Test3 default scale. Kept large
+#: enough that per-run time dwarfs interpreter noise (sub-100 ms points
+#: wreck the log-log fit).
+SWEEP = (1.0, 1.6, 2.4, 3.4)
+
+
+def run_sweep():
+    base = scale_for("Test3")
+    xs, ys = [], []
+    for factor in SWEEP:
+        # Fixed net-span profile: the sweep must vary the *number* of
+        # nets, not their length distribution, or congestion growth
+        # contaminates the complexity fit.
+        grid, nets = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[2], scale=base * factor, max_span_tracks=10
+        )
+        t0 = time.perf_counter()
+        SadpRouter(grid, nets).route_all()
+        elapsed = time.perf_counter() - t0
+        xs.append(len(nets))
+        ys.append(elapsed)
+    return xs, ys
+
+
+def test_fig20_scaling(benchmark, results_dir):
+    xs, ys = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    fit = fit_power_law(xs, ys)
+
+    lines = [
+        "Fig. 20 reproduction — running time vs number of nets",
+        f"{'#nets':>8s} {'CPU(s)':>10s}",
+    ]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:8d} {y:10.2f}")
+    lines.append(
+        f"least-squares power law: time ~ n^{fit.exponent:.2f} "
+        f"(coefficient {fit.coefficient:.2e}, R^2 {fit.r_squared:.3f}); "
+        "paper reports n^1.42"
+    )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    (results_dir / "fig20.txt").write_text(text + "\n")
+
+    # Shape assertions: strongly sub-cubic growth with a solid fit.
+    assert 0.8 <= fit.exponent <= 2.6, f"exponent {fit.exponent} out of band"
+    assert fit.r_squared >= 0.80

@@ -1,0 +1,82 @@
+"""Fig. 21 — partial routing result of the proposed router.
+
+The paper's Fig. 21 shows a routed clip in which an odd cycle of layout
+patterns is decomposed by the merge-and-cut technique, with side overlays
+no longer than one unit. We craft the same situation — three mutually
+dependent wires whose constraint cycle is odd — route it, decompose the
+layer physically, and render an SVG of the masks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import routing_to_targets, synthesize_masks, verify_decomposition
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter
+from repro.viz import render_layer, render_masks_svg
+
+
+def odd_cycle_netlist() -> Netlist:
+    """Two parallel adjacent wires plus a collinear abutting one.
+
+    Constraint cycle: 1-a (A, B), 1-a (B, C detour) ... the crafted set
+    reliably produces a 1-a/1-a/1-b odd cycle on layer 0, the exact case
+    the trim process cannot decompose and the cut process can.
+    """
+    return Netlist(
+        [
+            Net(0, "A", Pin.at(2, 10), Pin.at(12, 10)),
+            Net(1, "B", Pin.at(2, 11), Pin.at(12, 11)),
+            Net(2, "C", Pin.at(13, 10), Pin.at(22, 10)),
+        ]
+    )
+
+
+def run_clip():
+    grid = RoutingGrid(26, 26)
+    router = SadpRouter(grid, odd_cycle_netlist())
+    result = router.route_all()
+    return grid, router, result
+
+
+def test_fig21_odd_cycle_decomposition(benchmark, results_dir):
+    grid, router, result = benchmark.pedantic(run_clip, rounds=1, iterations=1)
+
+    assert result.routability == 1.0
+    assert result.cut_conflicts == 0
+    assert result.hard_overlays == 0
+
+    colors = result.colorings[0]
+    # The odd cycle is decomposed via the merge: A and C share a color
+    # (1-b pair, merged and separated by a cut), B differs from A.
+    assert colors[0] != colors[1]
+    assert colors[0] == colors[2]
+
+    # Physical check: the layer decomposes with overlays <= 1 unit each.
+    targets = routing_to_targets(grid, result, 0)
+    masks = synthesize_masks(targets, grid.rules)
+    report = verify_decomposition(masks)
+    assert report.prints_correctly
+    assert report.overlay.hard_overlay_count == 0
+    for edge in report.overlay.edges:
+        if edge.is_side:
+            assert edge.max_run_nm <= grid.rules.w_line
+
+    svg_path = render_masks_svg(masks, results_dir / "fig21.svg")
+    ascii_art = render_layer(grid, 0, colors)
+    (results_dir / "fig21.txt").write_text(
+        "Fig. 21 reproduction — odd cycle decomposed by merge + cut\n"
+        f"colors: {{net: color}} = "
+        f"{ {n: c.value for n, c in sorted(colors.items())} }\n\n"
+        + ascii_art
+        + "\n\nSVG of the synthesised masks: fig21.svg\n"
+        f"side overlay: {report.overlay.side_overlay_nm} nm, "
+        f"tip overlay: {report.overlay.tip_overlay_nm} nm, "
+        f"cut conflicts: {len(report.cut_conflicts)}\n"
+    )
+    print()
+    print((results_dir / "fig21.txt").read_text())
+    assert svg_path.exists()

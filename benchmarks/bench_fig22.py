@@ -1,0 +1,57 @@
+"""Fig. 22 — partial routing result of the baseline [16] on the same clip.
+
+The paper's Fig. 22 shows [16]'s result where the merger of core patterns
+and assistant core patterns induces severe side overlays. We run the
+Fig. 21 clip through the [16] baseline and compare: it must either fail
+the abutting net (no merge technique) or commit measurably more overlay
+than the proposed router.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CutNoMergeRouter
+from repro.grid import RoutingGrid
+from repro.netlist import Netlist
+from repro.router import SadpRouter
+from repro.viz import render_layer
+
+from bench_fig21 import odd_cycle_netlist
+
+
+def run_pair():
+    ours_grid = RoutingGrid(26, 26)
+    ours = SadpRouter(ours_grid, odd_cycle_netlist()).route_all()
+    their_grid = RoutingGrid(26, 26)
+    theirs = CutNoMergeRouter(their_grid, odd_cycle_netlist()).route_all()
+    return ours, theirs, their_grid
+
+
+def test_fig22_baseline_struggles(benchmark, results_dir):
+    ours, theirs, their_grid = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    assert ours.routability == 1.0
+    assert ours.cut_conflicts == 0
+
+    # [16] cannot merge the abutting pair: net C detours, fails, or the
+    # committed result carries conflicts/overlay the complete model sees.
+    degraded = (
+        theirs.routability < 1.0
+        or theirs.cut_conflicts > 0
+        or theirs.total_wirelength > ours.total_wirelength
+        or theirs.overlay_nm > ours.overlay_nm
+    )
+    assert degraded, "[16] should visibly struggle on the odd-cycle clip"
+
+    art = render_layer(their_grid, 0, theirs.colorings.get(0, {}))
+    (results_dir / "fig22.txt").write_text(
+        "Fig. 22 reproduction — [16] (no merge technique) on the odd-cycle clip\n"
+        f"routability {theirs.routability * 100:.0f}%, overlay {theirs.overlay_nm:.0f} nm, "
+        f"conflicts {theirs.cut_conflicts}, wirelength {theirs.total_wirelength} "
+        f"(ours: 100%, {ours.overlay_nm:.0f} nm, 0, {ours.total_wirelength})\n\n"
+        + art
+        + "\n"
+    )
+    print()
+    print((results_dir / "fig22.txt").read_text())

@@ -1,0 +1,92 @@
+"""Physical audit — the bitmap engine judges a routed benchmark.
+
+Routes a scaled Test1 instance, lowers every layer to nm, runs the full
+SADP decomposition, and records what the *physics* says about the result:
+printability, measured side/tip overlay, physical hard-overlay residuals
+and cut conflicts per layer. This is the paper's implicit end-to-end
+claim ("routing results are guaranteed to be conflict-free and thus
+decomposable") checked by an independent model, kept as an artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FIXED_PIN_BENCHMARKS, generate_benchmark
+from repro.decompose import routing_to_targets, synthesize_masks, verify_decomposition
+from repro.router import SadpRouter
+
+
+def run_audit():
+    grid, nets = generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=0.2)
+    router = SadpRouter(grid, nets)
+    result = router.route_all()
+    layer_reports = []
+    for layer in range(grid.num_layers):
+        targets = routing_to_targets(grid, result, layer)
+        if not targets:
+            layer_reports.append(None)
+            continue
+        masks = synthesize_masks(targets, grid.rules)
+        layer_reports.append(verify_decomposition(masks))
+    return grid, result, layer_reports
+
+
+def test_physical_audit(benchmark, results_dir):
+    grid, result, reports = benchmark.pedantic(run_audit, rounds=1, iterations=1)
+
+    lines = [
+        "Physical audit — scaled Test1 routed, decomposed, measured",
+        f"router: {result.summary()}",
+        "",
+        f"{'layer':>6s} {'prints':>7s} {'side(nm)':>9s} {'tip(nm)':>8s} "
+        f"{'hard':>5s} {'cuts':>5s}",
+    ]
+    total_hard = 0
+    total_cuts = 0
+    for layer, report in enumerate(reports):
+        if report is None:
+            lines.append(f"{layer:6d}    (no wires)")
+            continue
+        lines.append(
+            f"{layer:6d} {str(report.prints_correctly):>7s} "
+            f"{report.overlay.side_overlay_nm:9d} "
+            f"{report.overlay.tip_overlay_nm:8d} "
+            f"{report.overlay.hard_overlay_count:5d} "
+            f"{len(report.cut_conflicts):5d}"
+        )
+        total_hard += report.overlay.hard_overlay_count
+        total_cuts += len(report.cut_conflicts)
+        assert report.prints_correctly
+    routed = result.routed_count
+    lines.append("")
+    lines.append(
+        f"abstract model: {result.overlay_nm:.0f} nm overlay, "
+        f"{result.hard_overlays} hard, {result.cut_conflicts} conflicts; "
+        f"physical residuals: {total_hard} hard runs, {total_cuts} cut "
+        f"conflicts over {routed} routed nets (see EXPERIMENTS.md, "
+        "'model vs physics')"
+    )
+    text = "\n".join(lines)
+    print()
+    print(text)
+    (results_dir / "physical_audit.txt").write_text(text + "\n")
+
+    # The abstract guarantees are absolute. The physical residuals are
+    # bounded but not zero — the paper's scenario model under-counts at
+    # dense tip clusters (quantified in EXPERIMENTS.md, 'model vs
+    # physics'): hard runs stay below one per two routed nets, physical
+    # cut adjacencies below one per routed net.
+    assert result.cut_conflicts == 0
+    assert result.hard_overlays == 0
+    assert total_hard <= routed // 2 + 3
+    assert total_cuts <= routed + 5
+
+    # The *total* side-overlay measurement, however, must agree with the
+    # abstract accounting within a factor of two — the models disagree on
+    # classification (hard vs soft), not on magnitude.
+    physical_nm = sum(
+        r.overlay.side_overlay_nm for r in reports if r is not None
+    )
+    assert physical_nm <= 2 * result.overlay_nm + 500
+    assert physical_nm >= result.overlay_nm / 3 - 500

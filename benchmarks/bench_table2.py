@@ -1,0 +1,107 @@
+"""Table II — the scenario color-rule table, regenerated from physics.
+
+The library's scenario table (``repro.core.scenarios``) encodes the
+paper's Table II / Figs. 23-34. This benchmark re-derives every
+(scenario, color pair) cell with the bitmap decomposition engine —
+synthesise the two-pattern clip, decompose, measure — and prints the
+physical table next to the coded one, flagging the cells where physics
+disagrees with the paper's accounting (see EXPERIMENTS.md, "model vs
+physics", for the analysis of those cells).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.color import ALL_PAIRS, Color, ColorPair
+from repro.core import HARD, SCENARIO_RULES, ScenarioType
+from repro.core.scenarios import table2_rows
+from repro.decompose import scenario_clip, synthesize_masks, verify_decomposition
+from repro.rules import DesignRules
+
+RULES = DesignRules()
+
+
+def physical_cell(stype: ScenarioType, pair: ColorPair) -> Tuple[float, bool]:
+    """(side overlay units, manufacturable?) measured by the bitmap engine."""
+    clip = scenario_clip(stype, pair, RULES)
+    report = verify_decomposition(synthesize_masks(clip, RULES))
+    units = report.overlay.side_overlay_nm / RULES.w_line
+    ok = report.prints_correctly and report.overlay.hard_overlay_count == 0
+    return units, ok
+
+
+def physical_table() -> Dict[ScenarioType, Dict[ColorPair, Tuple[float, bool]]]:
+    return {
+        stype: {pair: physical_cell(stype, pair) for pair in ALL_PAIRS}
+        for stype in ScenarioType
+    }
+
+
+def render(table) -> str:
+    lines = [
+        "Table II — color rules per potential overlay scenario",
+        "(coded = paper's accounting in scenario units; physical = bitmap",
+        " engine side-overlay units, '!' = hard/undecomposable)",
+        "",
+        f"{'type':5s} {'pair':4s} {'coded':>7s} {'physical':>9s}",
+        "-" * 30,
+    ]
+    for stype in ScenarioType:
+        rule = SCENARIO_RULES[stype]
+        for pair in ALL_PAIRS:
+            coded = rule.cost[pair]
+            coded_text = "hard" if coded == HARD else f"{coded:.0f}"
+            units, ok = table[stype][pair]
+            phys_text = f"{units:.1f}" + ("" if ok else "!")
+            lines.append(
+                f"{stype.value:5s} {pair.name:4s} {coded_text:>7s} {phys_text:>9s}"
+            )
+    lines.append("")
+    lines.append("Coded color-rule summary (the paper's Table II columns):")
+    lines.append(f"{'type':5s} {'rule':>8s} {'minSO':>6s} {'maxSO':>6s}")
+    for row in table2_rows():
+        lines.append(f"{row[0]:5s} {row[1]:>8s} {row[2]:>6s} {row[3]:>6s}")
+    return "\n".join(lines)
+
+
+def test_table2_regeneration(benchmark, results_dir):
+    table = benchmark.pedantic(physical_table, rounds=1, iterations=1)
+    text = render(table)
+    (results_dir / "table2.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    # Agreement checks on the load-bearing cells. (Cells where the paper's
+    # accounting and physics are known to differ — 2-b's floor, 2-c's
+    # merged tip-to-flank — are printed above and analysed in
+    # EXPERIMENTS.md, not asserted.)
+    def cell(stype, pair):
+        return table[stype][pair]
+
+    # Hard scenarios: the forbidden assignments really are catastrophic...
+    for pair in (ColorPair.CC, ColorPair.SS):
+        units, ok = cell(ScenarioType.T1A, pair)
+        assert units > 1 or not ok
+    # ...and the color rules really rescue them.
+    for pair in (ColorPair.CS, ColorPair.SC):
+        units, ok = cell(ScenarioType.T1A, pair)
+        assert ok and units == 0
+    # The merge technique: same-colored abutting tips are free (the
+    # paper's headline flexibility win), mixed colors are worse.
+    for pair in (ColorPair.CC, ColorPair.SS):
+        units, ok = cell(ScenarioType.T1B, pair)
+        assert ok and units == 0
+    assert cell(ScenarioType.T1B, ColorPair.CS)[0] > 0
+    # 2-a: same colors free; assist-merge combos heavily penalised.
+    assert cell(ScenarioType.T2A, ColorPair.CC) == (0, True)
+    assert cell(ScenarioType.T2A, ColorPair.SS)[0] == 0
+    assert cell(ScenarioType.T2A, ColorPair.CS)[0] > 2
+    # 3-a: the corner merge costs ~one unit under CC, nothing otherwise.
+    assert cell(ScenarioType.T3A, ColorPair.CC)[0] > 0
+    assert cell(ScenarioType.T3A, ColorPair.CS)[0] == 0
+    # 3-e is physically trivial, as coded.
+    for pair in ALL_PAIRS:
+        assert cell(ScenarioType.T3E, pair) == (0, True)

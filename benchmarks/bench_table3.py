@@ -1,0 +1,63 @@
+"""Table III — fixed-pin benchmarks: ours vs Gao-Pan [11] vs [16].
+
+Regenerates the paper's Table III rows (routability %, overlay length,
+number of cut/trim conflicts, CPU seconds) on scaled Test1-Test5
+instances. Absolute values differ from the paper (synthetic instances,
+Python runtime); the *shape* must hold: ours has zero conflicts, the
+smallest overlay by a large factor, and routability at least on par.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CutNoMergeRouter, GaoPanTrimRouter
+from repro.bench import FIXED_PIN_BENCHMARKS, run_baseline, run_proposed, rows_to_table
+from repro.bench.runner import comparison_summary
+
+from conftest import circuit_enabled, scale_for
+
+CIRCUITS = [s for s in FIXED_PIN_BENCHMARKS if circuit_enabled(s.name)]
+
+
+@pytest.fixture(scope="module")
+def table3_file(results_dir):
+    out = results_dir / "table3.txt"
+    out.write_text(
+        "Table III reproduction — fixed-pin benchmarks\n"
+        "ours vs Gao-Pan [11] (trim) vs [16] (cut, no merge)\n\n"
+    )
+    return out
+
+
+@pytest.mark.parametrize("spec", CIRCUITS, ids=lambda s: s.name)
+def test_table3_circuit(benchmark, table3_file, spec):
+    scale = scale_for(spec.name)
+    ours = benchmark.pedantic(
+        lambda: run_proposed(spec, scale=scale), rounds=1, iterations=1
+    )
+    gao_pan = run_baseline(GaoPanTrimRouter, "gao-pan[11]", spec, scale=scale)
+    cut16 = run_baseline(CutNoMergeRouter, "cut[16]", spec, scale=scale)
+
+    rows = [ours, gao_pan, cut16]
+    table = rows_to_table(rows, caption=f"Table III (scaled {scale:.2f}) — {spec.name}")
+    print()
+    print(table)
+    print(comparison_summary([ours], [gao_pan]))
+    print(comparison_summary([ours], [cut16]))
+
+    with table3_file.open("a") as fh:
+        fh.write(table + "\n")
+        fh.write(comparison_summary([ours], [gao_pan]) + "\n")
+        fh.write(comparison_summary([ours], [cut16]) + "\n\n")
+
+    # The paper's claims, as shape assertions:
+    assert ours.conflicts == 0, "ours must be conflict-free"
+    assert gao_pan.conflicts > 0 or cut16.conflicts > 0
+    assert ours.overlay_nm < gao_pan.overlay_nm
+    # [16] fails many nets (no merge technique), which deflates its
+    # absolute overlay; compare per routed net.
+    ours_per_net = ours.overlay_nm / max(ours.routability_pct, 1)
+    cut16_per_net = cut16.overlay_nm / max(cut16.routability_pct, 1)
+    assert ours_per_net <= cut16_per_net * 1.05
+    assert ours.routability_pct >= cut16.routability_pct

@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper artifact (table/figure) has one ``bench_*.py`` file. The
+benchmarks run on *scaled* instances by default so a laptop regenerates
+everything in minutes:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on the per-circuit default scales
+  (1.0 = defaults, ~5.5 = paper-scale for Test1; expect long runtimes);
+* ``REPRO_BENCH_CIRCUITS`` — comma-separated TestN names to restrict to.
+
+Regenerated tables/figures are written under ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Per-circuit default scales: larger circuits shrink more aggressively so
+#: the default harness covers every row of Tables III/IV in minutes.
+DEFAULT_SCALES = {
+    "Test1": 0.18,
+    "Test2": 0.15,
+    "Test3": 0.11,
+    "Test4": 0.08,
+    "Test5": 0.06,
+    "Test6": 0.18,
+    "Test7": 0.15,
+    "Test8": 0.11,
+    "Test9": 0.08,
+    "Test10": 0.06,
+}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale_for(circuit: str) -> float:
+    multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return min(DEFAULT_SCALES[circuit] * multiplier, 1.0)
+
+
+def circuit_enabled(name: str) -> bool:
+    raw = os.environ.get("REPRO_BENCH_CIRCUITS", "")
+    chosen = {c.strip().lower() for c in raw.split(",") if c.strip()}
+    return not chosen or name.lower() in chosen
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's flagship scenario: decomposing an odd cycle with merge + cut.
+
+Three wires form an odd constraint cycle: A and B run on adjacent tracks
+(type 1-a: must differ), B and A' interact the same way, and A abuts A'
+tip-to-tip (type 1-b: must match). A trim-process flow cannot two-color
+this; the cut process merges the abutting pair and separates it with a
+cut pattern (Fig. 2 / Fig. 21 of the paper).
+
+The script routes the clip, shows the constraint-graph reasoning, then
+runs the *physical* bitmap decomposition to prove the result manufactures
+with zero hard overlay, and writes an SVG of the synthesized masks.
+
+Run:  python examples/odd_cycle_decomposition.py
+"""
+
+from repro import Net, Netlist, Pin, RoutingGrid, SadpRouter
+from repro.decompose import (
+    routing_to_targets,
+    synthesize_masks,
+    verify_decomposition,
+)
+from repro.viz import render_layer, render_masks_svg
+
+
+def main() -> None:
+    grid = RoutingGrid(26, 26)
+    nets = Netlist(
+        [
+            Net(0, "A", Pin.at(2, 10), Pin.at(12, 10)),
+            Net(1, "B", Pin.at(2, 11), Pin.at(12, 11)),
+            Net(2, "A'", Pin.at(13, 10), Pin.at(22, 10)),
+        ]
+    )
+    router = SadpRouter(grid, nets)
+    result = router.route_all()
+    print("== routed clip ==")
+    print(result.summary())
+    print(render_layer(grid, 0, result.colorings[0]))
+    print()
+
+    graph = router.graphs[0]
+    print("== overlay constraint graph (layer M1) ==")
+    for edge in graph.edges:
+        print(f"  net{edge.u} -- net{edge.v}: scenario {edge.scenario.value} ({edge.kind.value})")
+    print(
+        "  -> the 1-a/1-a/1-b triangle is an odd cycle for plain two-coloring;"
+    )
+    print("     the 1-b edge demands *equal* colors, so it is satisfiable:")
+    for net in nets:
+        color = result.colorings[0][net.net_id]
+        print(f"     {net.name:2s} = {color.value}")
+    print()
+
+    targets = routing_to_targets(grid, result, 0)
+    masks = synthesize_masks(targets, grid.rules)
+    report = verify_decomposition(masks)
+    print("== physical decomposition (bitmap engine) ==")
+    print(f"  prints correctly   : {report.prints_correctly}")
+    print(f"  side overlay       : {report.overlay.side_overlay_nm} nm")
+    print(f"  tip overlay        : {report.overlay.tip_overlay_nm} nm (non-critical)")
+    print(f"  hard overlays      : {report.overlay.hard_overlay_count}")
+    print(f"  cut conflicts      : {len(report.cut_conflicts)}")
+    assert report.ok
+
+    out = render_masks_svg(masks, "odd_cycle_masks.svg")
+    print(f"\nmask rendering written to {out}")
+
+
+if __name__ == "__main__":
+    main()

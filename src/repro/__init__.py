@@ -1,0 +1,71 @@
+"""repro — Overlay-aware detailed routing for SADP lithography (cut process).
+
+A from-scratch reproduction of Liu, Fang and Chang, "Overlay-Aware Detailed
+Routing for Self-Aligned Double Patterning Lithography Using the Cut
+Process" (DAC 2014 / IEEE TCAD 2016).
+
+Quickstart::
+
+    from repro import RoutingGrid, Netlist, Net, Pin, SadpRouter
+
+    grid = RoutingGrid(width=40, height=40)
+    nets = Netlist([
+        Net(0, "n0", Pin.at(2, 5), Pin.at(30, 9)),
+        Net(1, "n1", Pin.at(4, 8), Pin.at(28, 20)),
+    ])
+    result = SadpRouter(grid, nets).route_all()
+    print(result.summary())
+
+The top-level namespace re-exports the pieces a user typically needs; the
+subpackages (``repro.core``, ``repro.decompose``, ``repro.baselines``,
+``repro.bench``, ``repro.viz``) hold the full machinery.
+"""
+
+from .color import Color, ColorPair
+from .errors import (
+    ColoringError,
+    DecompositionError,
+    DesignRuleError,
+    GeometryError,
+    GridError,
+    NetlistError,
+    ReproError,
+    RoutingError,
+)
+from .geometry import Point, Rect, Segment
+from .grid import Direction, RoutingGrid, Via
+from .netlist import Net, Netlist, Pin, read_netlist, write_netlist
+from .router import CostParams, NetRoute, RoutingResult, SadpRouter
+from .rules import DesignRules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Color",
+    "ColorPair",
+    "Point",
+    "Rect",
+    "Segment",
+    "Direction",
+    "RoutingGrid",
+    "Via",
+    "Net",
+    "Netlist",
+    "Pin",
+    "read_netlist",
+    "write_netlist",
+    "CostParams",
+    "NetRoute",
+    "RoutingResult",
+    "SadpRouter",
+    "DesignRules",
+    "ReproError",
+    "GeometryError",
+    "DesignRuleError",
+    "GridError",
+    "NetlistError",
+    "RoutingError",
+    "ColoringError",
+    "DecompositionError",
+    "__version__",
+]

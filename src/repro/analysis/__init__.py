@@ -1,0 +1,10 @@
+"""Post-routing analysis: overlay breakdowns, statistics, text reports."""
+
+from .report import OverlayBreakdown, RoutingReport, analyze, breakdown_by_scenario
+
+__all__ = [
+    "OverlayBreakdown",
+    "RoutingReport",
+    "analyze",
+    "breakdown_by_scenario",
+]

@@ -1,0 +1,134 @@
+"""Routing-result analysis and reporting.
+
+:func:`analyze` digests a finished :class:`~repro.router.SadpRouter` into
+a :class:`RoutingReport`: wirelength/via statistics, scenario census per
+layer, and the side-overlay breakdown by scenario type — the view that
+tells a user *where* their overlay budget goes (the paper's Table II made
+operational).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..color import Color
+from ..core.scenarios import HARD, ScenarioType
+from ..router.result import RoutingResult
+from ..router.sadp_router import SadpRouter
+
+
+@dataclass
+class OverlayBreakdown:
+    """Side-overlay units attributed to each scenario type."""
+
+    units_by_scenario: Dict[str, float] = field(default_factory=dict)
+    edge_count_by_scenario: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_units(self) -> float:
+        return sum(self.units_by_scenario.values())
+
+    def dominant(self) -> str:
+        """The scenario type carrying the most overlay ('-' when clean)."""
+        if not self.units_by_scenario:
+            return "-"
+        return max(self.units_by_scenario, key=self.units_by_scenario.get)
+
+
+@dataclass
+class RoutingReport:
+    """Aggregate digest of one routing run."""
+
+    num_nets: int
+    routed: int
+    routability: float
+    total_wirelength: int
+    total_vias: int
+    mean_wirelength: float
+    max_ripups: int
+    overlay: OverlayBreakdown
+    scenario_census: Dict[str, int]
+    colors_per_layer: Dict[int, Dict[str, int]]
+
+    def to_text(self) -> str:
+        lines = [
+            "Routing report",
+            "=" * 50,
+            f"nets            : {self.routed}/{self.num_nets} "
+            f"({self.routability * 100:.1f}%)",
+            f"wirelength      : {self.total_wirelength} tracks "
+            f"(mean {self.mean_wirelength:.1f}/net)",
+            f"vias            : {self.total_vias}",
+            f"max rip-ups/net : {self.max_ripups}",
+            "",
+            "scenario census (detected instances):",
+        ]
+        for name, count in sorted(self.scenario_census.items()):
+            lines.append(f"  {name:5s} {count:6d}")
+        lines.append("")
+        lines.append("side overlay by scenario (units):")
+        if not self.overlay.units_by_scenario:
+            lines.append("  none — overlay-free result")
+        for name, units in sorted(
+            self.overlay.units_by_scenario.items(), key=lambda kv: -kv[1]
+        ):
+            count = self.overlay.edge_count_by_scenario.get(name, 0)
+            lines.append(f"  {name:5s} {units:8.1f}  (over {count} instances)")
+        lines.append("")
+        lines.append("mask color census per layer:")
+        for layer, census in sorted(self.colors_per_layer.items()):
+            core = census.get("C", 0)
+            second = census.get("S", 0)
+            lines.append(f"  M{layer + 1}: {core} core / {second} second")
+        return "\n".join(lines)
+
+
+def breakdown_by_scenario(router: SadpRouter) -> OverlayBreakdown:
+    """Attribute the committed side overlay to scenario types."""
+    breakdown = OverlayBreakdown()
+    for layer, graph in enumerate(router.graphs):
+        coloring = router.colorings[layer]
+        for edge in graph.edges:
+            cost = edge.pair_cost(
+                coloring.get(edge.u, Color.CORE), coloring.get(edge.v, Color.CORE)
+            )
+            if cost and cost != HARD:
+                key = edge.scenario.value
+                breakdown.units_by_scenario[key] = (
+                    breakdown.units_by_scenario.get(key, 0.0) + cost
+                )
+                breakdown.edge_count_by_scenario[key] = (
+                    breakdown.edge_count_by_scenario.get(key, 0) + 1
+                )
+    return breakdown
+
+
+def analyze(router: SadpRouter, result: RoutingResult) -> RoutingReport:
+    """Build the full report for a finished run."""
+    routed = [r for r in result.routes.values() if r.success]
+    census: Counter = Counter()
+    for layer, graph in enumerate(router.graphs):
+        for edge in graph.edges:
+            census[edge.scenario.value] += 1
+
+    colors_per_layer: Dict[int, Dict[str, int]] = {}
+    for layer, coloring in result.colorings.items():
+        layer_census: Counter = Counter(color.value for color in coloring.values())
+        colors_per_layer[layer] = dict(layer_census)
+
+    return RoutingReport(
+        num_nets=len(result.routes),
+        routed=len(routed),
+        routability=result.routability,
+        total_wirelength=result.total_wirelength,
+        total_vias=result.total_vias,
+        mean_wirelength=(
+            result.total_wirelength / len(routed) if routed else 0.0
+        ),
+        max_ripups=max((r.ripups for r in result.routes.values()), default=0),
+        overlay=breakdown_by_scenario(router),
+        scenario_census=dict(census),
+        colors_per_layer=colors_per_layer,
+    )

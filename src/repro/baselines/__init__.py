@@ -1,0 +1,29 @@
+"""Reimplementations of the three state-of-the-art baselines.
+
+The paper compares against (binary codes unavailable, so it reimplemented
+them — as do we, from their published behaviour):
+
+* **Gao & Pan [11]** (`GaoPanTrimRouter`) — trim-process router that
+  performs routing and layout decomposition simultaneously, freezing each
+  net's color when it is routed; no assist cores, no color flipping.
+* **The cut-process router [16]** (`CutNoMergeRouter`) — uses the cut
+  process and assist cores but never applies the merge technique to odd
+  cycles; colors are likewise frozen at route time, and core/assist-core
+  mergers induce severe side overlays.
+* **Du et al. [10]** (`DuTrimRouter`) — trim-process router supporting
+  multiple pin candidate locations; it searches exhaustively over the
+  candidate-pair space and re-evaluates the full conflict state per
+  candidate, which reproduces its published orders-of-magnitude slowdown.
+"""
+
+from .trim_model import TrimAccounting
+from .gao_pan import GaoPanTrimRouter
+from .cut_nomerge import CutNoMergeRouter
+from .du_trim import DuTrimRouter
+
+__all__ = [
+    "TrimAccounting",
+    "GaoPanTrimRouter",
+    "CutNoMergeRouter",
+    "DuTrimRouter",
+]

@@ -1,0 +1,26 @@
+"""Workload generation and evaluation harness for the paper's experiments."""
+
+from .workloads import (
+    BenchmarkSpec,
+    FIXED_PIN_BENCHMARKS,
+    MULTI_PIN_BENCHMARKS,
+    generate_benchmark,
+)
+from .runner import BenchRow, run_proposed, run_baseline, rows_to_table
+from .scaling import fit_power_law
+from .sweeps import SweepPoint, sweep_parameter, sweep_to_table
+
+__all__ = [
+    "BenchmarkSpec",
+    "FIXED_PIN_BENCHMARKS",
+    "MULTI_PIN_BENCHMARKS",
+    "generate_benchmark",
+    "BenchRow",
+    "run_proposed",
+    "run_baseline",
+    "rows_to_table",
+    "fit_power_law",
+    "SweepPoint",
+    "sweep_parameter",
+    "sweep_to_table",
+]

@@ -1,0 +1,111 @@
+"""Run routers on benchmarks and collect the tables' columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..router import SadpRouter
+from ..router.result import RoutingResult
+from .workloads import BenchmarkSpec, generate_benchmark
+
+
+@dataclass
+class BenchRow:
+    """One (circuit, router) cell group of Table III/IV."""
+
+    circuit: str
+    router: str
+    num_nets: int
+    routability_pct: float
+    overlay_nm: float
+    overlay_units: float
+    conflicts: int
+    cpu_s: float
+    wirelength: int = 0
+    vias: int = 0
+
+    @classmethod
+    def from_result(
+        cls, circuit: str, router: str, result: RoutingResult
+    ) -> "BenchRow":
+        return cls(
+            circuit=circuit,
+            router=router,
+            num_nets=len(result.routes),
+            routability_pct=result.routability * 100.0,
+            overlay_nm=result.overlay_nm,
+            overlay_units=result.overlay_units,
+            conflicts=result.cut_conflicts,
+            cpu_s=result.cpu_seconds,
+            wirelength=result.total_wirelength,
+            vias=result.total_vias,
+        )
+
+
+def run_proposed(
+    spec: BenchmarkSpec, scale: float = 1.0, seed: int = 2014, **router_kwargs
+) -> BenchRow:
+    """Route a benchmark with the proposed overlay-aware router."""
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    result = SadpRouter(grid, nets, **router_kwargs).route_all()
+    return BenchRow.from_result(spec.name, "ours", result)
+
+
+def run_baseline(
+    router_factory: Callable,
+    label: str,
+    spec: BenchmarkSpec,
+    scale: float = 1.0,
+    seed: int = 2014,
+    **kwargs,
+) -> BenchRow:
+    """Route a benchmark with one of the baseline routers.
+
+    ``router_factory(grid, netlist, **kwargs)`` must build the router;
+    the same seed reproduces the identical instance the proposed router
+    saw, so rows are directly comparable.
+    """
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    result = router_factory(grid, nets, **kwargs).route_all()
+    return BenchRow.from_result(spec.name, label, result)
+
+
+def rows_to_table(rows: List[BenchRow], caption: str = "") -> str:
+    """Format rows like the paper's tables (grouped by circuit)."""
+    header = (
+        f"{'Circuit':8s} {'Router':10s} {'#Net':>6s} {'Rout.%':>7s} "
+        f"{'Overlay(nm)':>12s} {'Units':>8s} {'#C':>5s} {'CPU(s)':>8s}"
+    )
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.circuit:8s} {row.router:10s} {row.num_nets:6d} "
+            f"{row.routability_pct:7.1f} {row.overlay_nm:12.0f} "
+            f"{row.overlay_units:8.0f} {row.conflicts:5d} {row.cpu_s:8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_summary(ours: List[BenchRow], theirs: List[BenchRow]) -> str:
+    """The paper's 'Comp.' row: ratios of baseline over ours."""
+    pairs = list(zip(ours, theirs))
+    if not pairs:
+        return "no data"
+    rout = _safe_mean([b.routability_pct / a.routability_pct for a, b in pairs])
+    ovl = _safe_mean(
+        [b.overlay_nm / a.overlay_nm for a, b in pairs if a.overlay_nm > 0]
+    )
+    cpu = _safe_mean([b.cpu_s / a.cpu_s for a, b in pairs if a.cpu_s > 0])
+    return (
+        f"baseline/ours ratios: routability {rout:.3f}x, "
+        f"overlay {ovl:.2f}x, cpu {cpu:.2f}x"
+    )
+
+
+def _safe_mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")

@@ -1,0 +1,49 @@
+"""Runtime-scaling analysis (Fig. 20).
+
+The paper plots router runtime against net count and reports an empirical
+complexity of about n^1.42 from a least-squares fit. We reproduce the fit
+in log-log space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """y = coefficient * x^exponent, plus the fit quality."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x ** self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares power-law fit in log-log space."""
+    if len(xs) != len(ys):
+        raise ReproError("x and y series must have the same length")
+    if len(xs) < 2:
+        raise ReproError("need at least two points to fit a power law")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ReproError("power-law fit requires positive data")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(((ly - predicted) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r_squared,
+    )

@@ -1,0 +1,83 @@
+"""Parameter sweeps over the router's cost knobs.
+
+The paper fixes alpha = beta = 1, gamma = 1.5 and f_threshold = 10
+without an ablation; this module provides the sweep harness that
+justifies (or challenges) those choices on the synthetic benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..router import CostParams, SadpRouter
+from .workloads import BenchmarkSpec, generate_benchmark
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Mean metrics of one parameter setting over the sweep's seeds."""
+
+    label: str
+    value: float
+    overlay_nm: float
+    routability_pct: float
+    wirelength: float
+    cpu_s: float
+
+
+def sweep_parameter(
+    spec: BenchmarkSpec,
+    parameter: str,
+    values: Sequence[float],
+    scale: float = 0.15,
+    seeds: Sequence[int] = (2014, 7, 99),
+    base: CostParams = None,
+) -> List[SweepPoint]:
+    """Route the same instances under each value of one CostParams field.
+
+    Returns one seed-averaged :class:`SweepPoint` per value. ``parameter``
+    must be a field of :class:`~repro.router.CostParams` (e.g. ``gamma``,
+    ``flip_threshold``, ``delta_tip``).
+    """
+    base = base or CostParams()
+    points: List[SweepPoint] = []
+    for value in values:
+        params = replace(base, **{parameter: value})
+        overlay = rout = wl = cpu = 0.0
+        for seed in seeds:
+            grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+            result = SadpRouter(grid, nets, params=params).route_all()
+            overlay += result.overlay_nm
+            rout += result.routability * 100
+            wl += result.total_wirelength
+            cpu += result.cpu_seconds
+        n = len(seeds)
+        points.append(
+            SweepPoint(
+                label=parameter,
+                value=value,
+                overlay_nm=overlay / n,
+                routability_pct=rout / n,
+                wirelength=wl / n,
+                cpu_s=cpu / n,
+            )
+        )
+    return points
+
+
+def sweep_to_table(points: List[SweepPoint]) -> str:
+    """Format a sweep as a text table."""
+    if not points:
+        return "empty sweep"
+    header = (
+        f"{points[0].label:>14s} {'overlay(nm)':>12s} {'rout.%':>8s} "
+        f"{'wl':>8s} {'cpu(s)':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.value:14.2f} {p.overlay_nm:12.0f} {p.routability_pct:8.1f} "
+            f"{p.wirelength:8.0f} {p.cpu_s:8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``route``
+    Route a text netlist on a fresh grid, print the report, optionally
+    save JSON/SVG artifacts::
+
+        python -m repro route nets.txt --width 40 --height 40 \
+            --out result.json --svg layer0.svg --report
+
+``bench``
+    Route one of the paper's benchmarks (Test1..Test10) at a given scale,
+    with the proposed router or a baseline::
+
+        python -m repro bench Test1 --scale 0.2 --router gao-pan
+
+``scenarios``
+    Print the scenario color-rule table (the paper's Table II).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .errors import ReproError
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .analysis import analyze
+    from .grid import RoutingGrid, default_layer_stack
+    from .netlist import read_design
+    from .router import SadpRouter, save_result
+    from .viz import render_routing_svg
+
+    blockages, netlist = read_design(args.netlist)
+    grid = RoutingGrid(
+        width=args.width,
+        height=args.height,
+        layers=default_layer_stack(args.layers),
+    )
+    for layer, rect in blockages:
+        targets = range(grid.num_layers) if layer < 0 else (layer,)
+        for l in targets:
+            grid.block(l, rect)
+    router = SadpRouter(grid, netlist)
+    result = router.route_all()
+    print(result.summary())
+    if args.report:
+        print()
+        print(analyze(router, result).to_text())
+    if args.out:
+        path = save_result(result, args.out)
+        print(f"result saved to {path}")
+    if args.svg:
+        path = render_routing_svg(grid, result.colorings, args.svg, layer=args.svg_layer)
+        print(f"layer M{args.svg_layer + 1} rendered to {path}")
+    return 0 if result.cut_conflicts == 0 else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .baselines import CutNoMergeRouter, DuTrimRouter, GaoPanTrimRouter
+    from .bench import run_baseline, run_proposed, rows_to_table
+    from .bench.workloads import spec_by_name
+
+    spec = spec_by_name(args.circuit)
+    if args.router == "ours":
+        row = run_proposed(spec, scale=args.scale, seed=args.seed)
+    else:
+        factory = {
+            "gao-pan": GaoPanTrimRouter,
+            "cut16": CutNoMergeRouter,
+            "du": DuTrimRouter,
+        }[args.router]
+        row = run_baseline(factory, args.router, spec, scale=args.scale, seed=args.seed)
+    print(rows_to_table([row], caption=f"{spec.name} @ scale {args.scale}"))
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from .core.scenarios import table2_rows
+
+    print("Table II — color rules per potential overlay scenario")
+    print(f"{'type':5s} {'rule':>9s} {'minSO':>6s} {'maxSO':>6s}")
+    for row in table2_rows():
+        print(f"{row[0]:5s} {row[1]:>9s} {row[2]:>6s} {row[3]:>6s}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Overlay-aware SADP-cut detailed router (DAC'14 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route a text netlist")
+    route.add_argument("netlist", help="netlist file (see repro.netlist.io)")
+    route.add_argument("--width", type=int, required=True, help="grid width in tracks")
+    route.add_argument("--height", type=int, required=True, help="grid height in tracks")
+    route.add_argument("--layers", type=int, default=3, help="routing layers (default 3)")
+    route.add_argument("--out", help="save the routing result as JSON")
+    route.add_argument("--svg", help="render a routed layer as SVG")
+    route.add_argument("--svg-layer", type=int, default=0, help="layer to render")
+    route.add_argument("--report", action="store_true", help="print the full analysis report")
+    route.set_defaults(func=_cmd_route)
+
+    bench = sub.add_parser("bench", help="run a paper benchmark")
+    bench.add_argument("circuit", help="Test1..Test10")
+    bench.add_argument("--scale", type=float, default=0.15, help="instance scale (0, 1]")
+    bench.add_argument("--seed", type=int, default=2014)
+    bench.add_argument(
+        "--router",
+        choices=("ours", "gao-pan", "cut16", "du"),
+        default="ours",
+        help="which router to run",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    scen = sub.add_parser("scenarios", help="print the Table II color rules")
+    scen.set_defaults(func=_cmd_scenarios)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

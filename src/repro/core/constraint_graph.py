@@ -1,0 +1,232 @@
+"""The overlay constraint graph (Section III-B).
+
+One graph per routing layer. Vertices are routed nets (per-layer color
+freedom: "a net can be assigned to different colors in different routing
+layers"); edges are scenario instances. The graph maintains a parity
+union-find over its hard edges so that inserting a net's edges detects
+hard odd cycles immediately, and it prices any color assignment (side
+overlay units + type A cut risks) for the flipping machinery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..color import Color
+from .edges import ConstraintEdge, EdgeKind
+from .odd_cycle import ParityUnionFind
+from .scenarios import HARD
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Price of a color assignment on one layer's graph."""
+
+    overlay_units: float
+    hard_violations: int
+    cut_risks: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.hard_violations == 0
+
+
+class OverlayConstraintGraph:
+    """Multigraph of constraint edges with incremental hard-cycle checking."""
+
+    def __init__(self) -> None:
+        self._edges: List[ConstraintEdge] = []
+        self._incident: Dict[int, List[ConstraintEdge]] = defaultdict(list)
+        self._hard_uf = ParityUnionFind()
+        self._vertices: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vertices(self) -> Set[int]:
+        return set(self._vertices)
+
+    @property
+    def edges(self) -> List[ConstraintEdge]:
+        return list(self._edges)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges_of(self, net_id: int) -> List[ConstraintEdge]:
+        return list(self._incident.get(net_id, ()))
+
+    def add_vertex(self, net_id: int) -> None:
+        """Register a net even if it has no scenario yet (isolated vertex)."""
+        self._vertices.add(net_id)
+
+    def add_edges(self, edges: Iterable[ConstraintEdge]) -> List[ConstraintEdge]:
+        """Insert scenario edges; returns the hard edges that closed odd
+        cycles (empty list = consistent).
+
+        On failure the inserted edges *remain* in the graph — the router
+        rips up the offending net, which calls :meth:`remove_net` and
+        restores consistency. This mirrors the paper's flow (Fig. 19,
+        lines 4-9): update, check, rip-up on violation.
+        """
+        offenders: List[ConstraintEdge] = []
+        for edge in edges:
+            self._edges.append(edge)
+            self._incident[edge.u].append(edge)
+            self._incident[edge.v].append(edge)
+            self._vertices.add(edge.u)
+            self._vertices.add(edge.v)
+            if edge.kind.is_hard:
+                if not self._hard_uf.union(edge.u, edge.v, edge.parity):
+                    offenders.append(edge)
+        return offenders
+
+    def remove_net(self, net_id: int) -> int:
+        """Remove a net and its incident edges; returns edges removed.
+
+        The parity union-find does not support deletion, so it is rebuilt
+        from the surviving hard edges (linear in the number of hard edges,
+        which rip-up frequency keeps negligible).
+        """
+        incident = self._incident.pop(net_id, [])
+        if not incident:
+            self._vertices.discard(net_id)
+            return 0
+        doomed = set(map(id, incident))
+        self._edges = [e for e in self._edges if id(e) not in doomed]
+        for edge in incident:
+            other = edge.other(net_id)
+            self._incident[other] = [
+                e for e in self._incident[other] if id(e) not in doomed
+            ]
+        self._vertices.discard(net_id)
+        self._rebuild_hard_uf()
+        return len(incident)
+
+    def _rebuild_hard_uf(self) -> None:
+        self._hard_uf = ParityUnionFind()
+        for edge in self._edges:
+            if edge.kind.is_hard:
+                self._hard_uf.union(edge.u, edge.v, edge.parity)
+
+    # ------------------------------------------------------------------ #
+    # Hard-constraint queries
+    # ------------------------------------------------------------------ #
+
+    def has_hard_odd_cycle(self) -> bool:
+        """Full recheck: is the current hard-edge set two-color satisfiable?"""
+        uf = ParityUnionFind()
+        return not all(
+            uf.union(e.u, e.v, e.parity) for e in self._edges if e.kind.is_hard
+        )
+
+    def hard_component_of(self, net_id: int):
+        """(root, parity) of a net in the hard-edge union-find."""
+        return self._hard_uf.find(net_id)
+
+    def would_violate(self, edges: Iterable[ConstraintEdge]) -> bool:
+        """Would inserting ``edges`` close a hard odd cycle? (no mutation)
+
+        Used by the router to price candidate paths. Builds a scratch
+        overlay on top of the committed union-find by cloning only the
+        roots involved — cheap because candidate paths touch few nets.
+        """
+        scratch = ParityUnionFind()
+        roots_seen: Dict = {}
+        ok = True
+        for edge in edges:
+            if not edge.kind.is_hard:
+                continue
+            for node in (edge.u, edge.v):
+                if node not in roots_seen:
+                    root, parity = self._hard_uf.find(node)
+                    roots_seen[node] = True
+                    scratch.union(node, ("root", root), parity)
+            ok &= scratch.union(edge.u, edge.v, edge.parity)
+            if not ok:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Pricing
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, coloring: Dict[int, Color]) -> Evaluation:
+        """Price a full assignment. Vertices missing from ``coloring``
+        default to CORE (the pseudo-coloring default)."""
+        overlay = 0.0
+        hard = 0
+        risks = 0
+        for edge in self._edges:
+            cu = coloring.get(edge.u, Color.CORE)
+            cv = coloring.get(edge.v, Color.CORE)
+            cost = edge.pair_cost(cu, cv)
+            if cost == HARD:
+                hard += 1
+            else:
+                overlay += cost
+            if edge.has_cut_risk(cu, cv):
+                risks += 1
+        return Evaluation(overlay_units=overlay, hard_violations=hard, cut_risks=risks)
+
+    def net_cost(self, net_id: int, coloring: Dict[int, Color]) -> float:
+        """Side-overlay units on edges incident to one net (HARD -> inf)."""
+        total = 0.0
+        for edge in self._incident.get(net_id, ()):
+            cu = coloring.get(edge.u, Color.CORE)
+            cv = coloring.get(edge.v, Color.CORE)
+            total += edge.pair_cost(cu, cv)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Components
+    # ------------------------------------------------------------------ #
+
+    def components(self) -> List[Set[int]]:
+        """Connected components over *all* edges (hard and soft)."""
+        seen: Set[int] = set()
+        out: List[Set[int]] = []
+        for start in sorted(self._vertices):
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for edge in self._incident.get(node, ()):
+                    other = edge.other(node)
+                    if other not in comp:
+                        comp.add(other)
+                        stack.append(other)
+            seen |= comp
+            out.append(comp)
+        return out
+
+    def component_of(self, net_id: int) -> Set[int]:
+        comp = {net_id}
+        stack = [net_id]
+        while stack:
+            node = stack.pop()
+            for edge in self._incident.get(node, ()):
+                other = edge.other(node)
+                if other not in comp:
+                    comp.add(other)
+                    stack.append(other)
+        return comp
+
+    def edges_within(self, nets: Set[int]) -> List[ConstraintEdge]:
+        """All edges whose endpoints both lie in ``nets`` (each once)."""
+        out = []
+        seen = set()
+        for node in nets:
+            for edge in self._incident.get(node, ()):
+                if id(edge) in seen:
+                    continue
+                if edge.u in nets and edge.v in nets:
+                    seen.add(id(edge))
+                    out.append(edge)
+        return out

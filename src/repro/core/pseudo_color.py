@@ -1,0 +1,53 @@
+"""Greedy pseudo-coloring of a freshly routed net (Fig. 19, line 11).
+
+After a net is routed its vertex joins the layer's constraint graph. The
+net gets a provisional color immediately — the choice with "least hard
+overlay violations and induced overlay" against the colors of already
+routed nets. Color flipping later revisits the decision globally; pseudo
+coloring only has to be locally sensible and O(degree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..color import Color
+from .constraint_graph import OverlayConstraintGraph
+from .scenarios import HARD
+
+
+def pseudo_color(
+    graph: OverlayConstraintGraph,
+    net_id: int,
+    coloring: Dict[int, Color],
+) -> Color:
+    """Pick the cheaper color for ``net_id`` given its neighbours' colors.
+
+    Uses the DP cost (physical overlay + cut-conflict veto); hard overlays
+    count as infinite. Ties break toward CORE, which keeps isolated nets on
+    the core mask — the assignment with no assist-core overhead.
+
+    The chosen color is also written into ``coloring``.
+    """
+    best_color: Optional[Color] = None
+    best_cost = HARD
+    for color in (Color.CORE, Color.SECOND):
+        total = 0.0
+        for edge in graph.edges_of(net_id):
+            if edge.u == net_id and edge.v == net_id:
+                continue  # self-loops cannot occur, but stay safe
+            if edge.u == net_id:
+                other_color = coloring.get(edge.v, Color.CORE)
+                cost = edge.dp_cost(color, other_color)
+            else:
+                other_color = coloring.get(edge.u, Color.CORE)
+                cost = edge.dp_cost(other_color, color)
+            total += cost
+            if total >= HARD:
+                break
+        if best_color is None or total < best_cost:
+            best_color = color
+            best_cost = total
+    assert best_color is not None
+    coloring[net_id] = best_color
+    return best_color

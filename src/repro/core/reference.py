@@ -1,0 +1,114 @@
+"""Slow, obviously-correct reference implementations.
+
+Cross-check oracles for the optimised algorithms — used by the property
+tests and available to future maintainers chasing a miscompare:
+
+* :func:`reference_dependent_pairs` — O(n²) scenario detection;
+* :func:`reference_hard_feasible` — hard-edge satisfiability via
+  networkx bipartiteness on the dummy-vertex expansion (the paper's
+  Fig. 11(b) encoding, literally);
+* :func:`reference_optimal_coloring` — exhaustive 2^n enumeration with
+  the same DP costs the flipping machinery uses.
+
+None of these are performance-relevant; they trade every optimisation for
+transparency.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..color import Color
+from ..geometry import Segment
+from .constraint_graph import OverlayConstraintGraph
+from .edges import ConstraintEdge
+from .relation import classify_relation
+from .scenario_detect import DetectedScenario
+from .scenarios import SCENARIO_RULES, ScenarioType, scenario_for_relation
+
+
+def reference_dependent_pairs(
+    nets: Dict[int, Sequence[Segment]], include_trivial: bool = False
+) -> List[Tuple[int, int, ScenarioType]]:
+    """All scenario instances among the given nets, O(n²) brute force.
+
+    Returns unordered-pair records ``(net_a, net_b, scenario)`` — one per
+    fragment pair, with ``net_a < net_b`` — against which the incremental
+    detector's output can be compared as a multiset.
+    """
+    flat = [
+        (net_id, seg.to_rect(), seg.horizontal)
+        for net_id, segs in nets.items()
+        for seg in segs
+        if seg.layer == 0  # reference is single-layer by construction
+    ]
+    out: List[Tuple[int, int, ScenarioType]] = []
+    for (na, ra, ha), (nb, rb, hb) in combinations(flat, 2):
+        if na == nb:
+            continue
+        rel = classify_relation(ra, ha, rb, hb)
+        if rel is None:
+            continue
+        stype = scenario_for_relation(rel)
+        if stype is None:
+            continue
+        if not include_trivial and SCENARIO_RULES[stype].is_trivial:
+            continue
+        lo, hi = min(na, nb), max(na, nb)
+        out.append((lo, hi, stype))
+    return out
+
+
+def reference_hard_feasible(edges: Iterable[ConstraintEdge]) -> bool:
+    """Two-colorability of the hard edges via networkx bipartiteness.
+
+    Expands every hard-same edge into a dummy vertex with two
+    hard-different edges — the literal Fig. 11(b) construction — and asks
+    networkx whether the resulting graph is bipartite.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    for i, edge in enumerate(edges):
+        if not edge.kind.is_hard:
+            continue
+        g.add_node(edge.u)
+        g.add_node(edge.v)
+        if edge.parity == 1:
+            g.add_edge(edge.u, edge.v)
+        else:
+            dummy = ("dummy", i)
+            g.add_edge(edge.u, dummy)
+            g.add_edge(dummy, edge.v)
+    if g.number_of_nodes() == 0:
+        return True
+    return nx.is_bipartite(g)
+
+
+def reference_optimal_coloring(
+    graph: OverlayConstraintGraph, nets: Optional[Sequence[int]] = None
+) -> Tuple[Dict[int, Color], float]:
+    """Exhaustive optimum over all assignments (<= ~20 nets).
+
+    Identical semantics to
+    :func:`repro.core.color_flip.brute_force_coloring`, re-exported here
+    so the oracle suite lives in one module.
+    """
+    from .color_flip import brute_force_coloring
+
+    if nets is None:
+        nets = sorted(graph.vertices)
+    return brute_force_coloring(graph, list(nets))
+
+
+def reference_overlay_cost(
+    graph: OverlayConstraintGraph, coloring: Dict[int, Color]
+) -> float:
+    """Total physical side-overlay units of an assignment (inf on hard)."""
+    total = 0.0
+    for edge in graph.edges:
+        total += edge.pair_cost(
+            coloring.get(edge.u, Color.CORE), coloring.get(edge.v, Color.CORE)
+        )
+    return total

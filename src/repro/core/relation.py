@@ -1,0 +1,144 @@
+"""Geometry relationships between pattern rectangles (Theorem 2).
+
+The paper characterises a pair of dependent rectangles A, B by the tuple
+``(Xmin(A,B), Ymin(A,B), Dir(A,B))`` where ``Xmin``/``Ymin`` are the minimum
+*track differences* along each axis and ``Dir`` is parallel or orthogonal.
+This module computes that tuple from grid-cell footprints and decides
+dependence per Theorem 1/2:
+
+* aligned pairs (one difference 0) are dependent iff the other difference
+  is 1 or 2;
+* diagonal pairs (both differences > 0) are dependent iff both are <= 2 and
+  not both equal to 2 (the (2,2) corner gap equals d_indep exactly, and
+  Theorem 1 makes >= d_indep independent).
+
+Wires are one track wide, so a rectangle's orientation comes from its long
+axis; single-cell fragments inherit the orientation of the segment they
+came from (callers pass it explicitly).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry import Rect
+
+
+class Direction2(enum.Enum):
+    """Relative orientation of a rectangle pair."""
+
+    PARALLEL = "par"
+    ORTHOGONAL = "orth"
+
+
+@dataclass(frozen=True)
+class GeometryRelation:
+    """The Theorem-2 tuple for a dependent rectangle pair, canonicalised.
+
+    For **parallel** pairs the tuple is re-expressed in wire-local axes:
+    ``along`` is the track difference along the wires' length direction and
+    ``across`` the difference perpendicular to it (so horizontal and
+    vertical instances of the same scenario coincide).
+
+    For **orthogonal** pairs the paper identifies (x, y, orth) with
+    (y, x, orth); we store the sorted pair and additionally remember
+    whether A is the *tip-owner* (the rectangle whose endpoint faces the
+    other's flank), which the asymmetric scenarios 3-b/3-c need.
+
+    ``overlap`` is the projected overlap length in tracks for aligned
+    parallel pairs (side overlays scale with it); 1 otherwise.
+    """
+
+    along: int
+    across: int
+    direction: Direction2
+    a_is_tip_owner: bool = True
+    overlap: int = 1
+
+
+def _span(rect: Rect) -> tuple:
+    """Inclusive track spans ((x0, x1), (y0, y1)) of a cell-rect footprint."""
+    return (rect.xlo, rect.xhi - 1), (rect.ylo, rect.yhi - 1)
+
+
+def _track_diff(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int:
+    """Minimum track difference between two inclusive index ranges."""
+    if a_hi < b_lo:
+        return b_lo - a_hi
+    if b_hi < a_lo:
+        return a_lo - b_hi
+    return 0
+
+
+def _overlap_len(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int:
+    """Length (in tracks) of the overlap of two inclusive ranges (>= 0)."""
+    return max(0, min(a_hi, b_hi) - max(a_lo, b_lo) + 1)
+
+
+def classify_relation(
+    rect_a: Rect,
+    a_horizontal: bool,
+    rect_b: Rect,
+    b_horizontal: bool,
+) -> Optional[GeometryRelation]:
+    """Classify two grid-cell rectangles; ``None`` when independent.
+
+    ``rect_a``/``rect_b`` are footprints in track coordinates (half-open
+    cell rects); ``*_horizontal`` give the wire orientations (meaningful
+    for 1x1 fragments whose footprint is square).
+
+    Pairs with both track differences 0 (overlapping or edge-abutting
+    projections on both axes) return ``None`` as well: such fragments merge
+    into a single pattern and never overlay each other (Theorem 3).
+    """
+    (ax0, ax1), (ay0, ay1) = _span(rect_a)
+    (bx0, bx1), (by0, by1) = _span(rect_b)
+    dx = _track_diff(ax0, ax1, bx0, bx1)
+    dy = _track_diff(ay0, ay1, by0, by1)
+
+    if dx == 0 and dy == 0:
+        return None  # same polygon (overlap/abutment)
+
+    # Theorem 2 dependence bounds: aligned pairs are independent from
+    # track difference 3; diagonal pairs once both differences reach 2 or
+    # either reaches 3 (e.g. (1,3): corner gap > d_indep).
+    if dx == 0 or dy == 0:
+        if max(dx, dy) >= 3:
+            return None
+    else:
+        if (dx >= 2 and dy >= 2) or max(dx, dy) >= 3:
+            return None
+
+    if a_horizontal == b_horizontal:
+        # Parallel: express in (along, across) wrt the wires' direction.
+        if a_horizontal:
+            along, across = dx, dy
+            overlap = _overlap_len(ax0, ax1, bx0, bx1) if dx == 0 else 1
+        else:
+            along, across = dy, dx
+            overlap = _overlap_len(ay0, ay1, by0, by1) if dy == 0 else 1
+        return GeometryRelation(
+            along=along,
+            across=across,
+            direction=Direction2.PARALLEL,
+            a_is_tip_owner=True,
+            overlap=max(overlap, 1),
+        )
+
+    # Orthogonal: sort the tuple per (x, y, orth) == (y, x, orth); record
+    # which rectangle's tip faces the other. A's tip faces B when the track
+    # difference measured along A's length direction is the larger one (A
+    # must travel along itself to reach B).
+    along_a = dx if a_horizontal else dy
+    across_a = dy if a_horizontal else dx
+    a_tip = along_a >= across_a
+    lo, hi = min(dx, dy), max(dx, dy)
+    return GeometryRelation(
+        along=lo,
+        across=hi,
+        direction=Direction2.ORTHOGONAL,
+        a_is_tip_owner=a_tip,
+        overlap=1,
+    )

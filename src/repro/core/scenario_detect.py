@@ -1,0 +1,152 @@
+"""Incremental detection of potential overlay scenarios between nets.
+
+After each net is routed, its wire segments are fragmented into rectangles
+(Theorem 3) and checked against every existing rectangle within the
+independence radius (Theorem 1) using a bucketed spatial index. Each
+dependent pair maps to a scenario type (Theorem 2) and becomes a constraint
+edge. Rip-up removes a net's shapes and the scenarios they induced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..geometry import GridIndex, Rect, Segment
+from .relation import classify_relation
+from .scenarios import SCENARIO_RULES, ScenarioType, scenario_for_relation
+
+
+@dataclass(frozen=True)
+class ShapeRecord:
+    """One wire fragment registered in the index."""
+
+    net_id: int
+    rect: Rect  # grid-cell footprint (track coordinates)
+    horizontal: bool
+    layer: int
+
+
+@dataclass(frozen=True)
+class DetectedScenario:
+    """A scenario instance between net_a's fragment and net_b's fragment."""
+
+    layer: int
+    net_a: int
+    net_b: int
+    scenario: ScenarioType
+    a_is_tip_owner: bool
+    overlap: int
+    rect_a: Rect
+    rect_b: Rect
+
+
+class ScenarioDetector:
+    """Per-layer spatial index + pairwise scenario classification.
+
+    The detector is the geometry front-end of the overlay constraint graph:
+    ``add_net`` returns the new scenario instances the net creates, and
+    ``remove_net`` forgets a ripped-up net.
+    """
+
+    #: Query radius in tracks; Theorem 1/2 guarantee independence beyond it.
+    NEIGHBOUR_RADIUS = 3
+
+    def __init__(self, num_layers: int, include_trivial: bool = False) -> None:
+        self._indexes: List[GridIndex[ShapeRecord]] = [
+            GridIndex(bucket_size=8) for _ in range(num_layers)
+        ]
+        self._shapes_by_net: Dict[int, List[ShapeRecord]] = {}
+        # Types 2-c, 2-d and 3-e never induce side overlay; the paper drops
+        # them from the constraint graph ("the three scenarios are not
+        # considered"). Pass include_trivial=True to see them anyway.
+        self._include_trivial = include_trivial
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add_net(
+        self, net_id: int, segments: Iterable[Segment]
+    ) -> List[DetectedScenario]:
+        """Register a routed net's segments; returns the induced scenarios."""
+        records = [
+            ShapeRecord(
+                net_id=net_id,
+                rect=seg.to_rect(),
+                horizontal=seg.horizontal,
+                layer=seg.layer,
+            )
+            for seg in segments
+        ]
+        detected = []
+        for record in records:
+            detected.extend(self._scan(record))
+        for record in records:
+            self._indexes[record.layer].insert(record.rect, record)
+        self._shapes_by_net.setdefault(net_id, []).extend(records)
+        return detected
+
+    def remove_net(self, net_id: int) -> int:
+        """Forget a net's shapes; returns how many fragments were removed."""
+        records = self._shapes_by_net.pop(net_id, [])
+        for record in records:
+            self._indexes[record.layer].remove(record.rect, record)
+        return len(records)
+
+    def shapes_of(self, net_id: int) -> List[ShapeRecord]:
+        return list(self._shapes_by_net.get(net_id, []))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def probe_segments(
+        self, net_id: int, segments: Iterable[Segment]
+    ) -> List[DetectedScenario]:
+        """What scenarios *would* these segments create? (no mutation)
+
+        The router's what-if analysis during rip-up & reroute uses this to
+        price candidate paths without committing them.
+        """
+        detected = []
+        for seg in segments:
+            record = ShapeRecord(
+                net_id=net_id,
+                rect=seg.to_rect(),
+                horizontal=seg.horizontal,
+                layer=seg.layer,
+            )
+            detected.extend(self._scan(record))
+        return detected
+
+    def _scan(self, record: ShapeRecord) -> List[DetectedScenario]:
+        """Scenarios between ``record`` and existing fragments of other nets."""
+        index = self._indexes[record.layer]
+        out: List[DetectedScenario] = []
+        for rect, other in index.neighbours(record.rect, self.NEIGHBOUR_RADIUS):
+            if other.net_id == record.net_id:
+                continue
+            rel = classify_relation(
+                record.rect, record.horizontal, rect, other.horizontal
+            )
+            if rel is None:
+                continue
+            stype = scenario_for_relation(rel)
+            if stype is None:
+                continue
+            if not self._include_trivial and SCENARIO_RULES[stype].is_trivial:
+                continue
+            out.append(
+                DetectedScenario(
+                    layer=record.layer,
+                    net_a=record.net_id,
+                    net_b=other.net_id,
+                    scenario=stype,
+                    a_is_tip_owner=rel.a_is_tip_owner,
+                    overlap=rel.overlap,
+                    rect_a=record.rect,
+                    rect_b=rect,
+                )
+            )
+        return out

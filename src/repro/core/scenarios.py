@@ -1,0 +1,274 @@
+"""The eleven potential overlay scenarios and their color rules (Table II).
+
+A *potential overlay scenario* is a geometry relationship between two
+dependent patterns that induces side overlay under some color assignments.
+Theorem 2 enumerates eleven of them for rectangle pairs:
+
+====  ==================  =============================================
+Type  Relation tuple      Color behaviour
+====  ==================  =============================================
+1-a   (0, 1, parallel)    CC and SS produce hard overlays -> forbidden
+1-b   (1, 0, parallel)    CS and SC produce hard overlays -> forbidden
+2-a   (0, 2, parallel)    CS/SC: assist-core merge -> 2 units per
+                          overlapped track (+ cut-conflict risk)
+2-b   (2, 0, parallel)    CC/SS: 1 unit; CS/SC: 2 units; never free
+2-c   (0, 1, orthogonal)  never induces side overlay (tip overlays only)
+2-d   (0, 2, orthogonal)  never induces side overlay
+3-a   (1, 1, parallel)    CC: corner cores merge -> 1 unit
+3-b   (1, 1, orthogonal)  CC: 1; SC: 1 (cut defines the core's flank);
+                          both-second preferred
+3-c   (1, 2, orthogonal)  only CS (tip-owner core / flank-owner second)
+                          penalised (+ cut-conflict risk)
+3-d   (1, 2, parallel)    CS/SC: assist extension merges past the tip
+                          -> 1 unit
+3-e   (2, 1, parallel)    never induces side overlay
+====  ==================  =============================================
+
+Parallel tuples are (along, across) in wire-local axes; orthogonal tuples
+are sorted (the paper identifies (x, y, orth) with (y, x, orth)).
+
+The per-scenario cost vectors are the machine-readable form of the paper's
+Table II plus Figs. 23-34. Where the supplied text shows only figure
+captions, the values were re-derived from first principles with the bitmap
+decomposition engine (see ``benchmarks/bench_table2.py``, which regenerates
+this table from physics and cross-checks it). Costs are in *units* of side
+overlay, one unit = ``w_line``; :data:`HARD` marks assignments that create
+hard overlays (side overlay longer than ``w_line``) and are forbidden
+outright.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..color import ALL_PAIRS, ColorPair
+from .relation import Direction2, GeometryRelation
+
+#: Sentinel cost of a hard-overlay color assignment (strictly forbidden).
+HARD: float = float("inf")
+
+
+class ScenarioType(enum.Enum):
+    """The paper's scenario taxonomy (Fig. 9)."""
+
+    T1A = "1-a"
+    T1B = "1-b"
+    T2A = "2-a"
+    T2B = "2-b"
+    T2C = "2-c"
+    T2D = "2-d"
+    T3A = "3-a"
+    T3B = "3-b"
+    T3C = "3-c"
+    T3D = "3-d"
+    T3E = "3-e"
+
+
+@dataclass(frozen=True)
+class ScenarioRule:
+    """Color rule of one scenario type.
+
+    Attributes
+    ----------
+    scenario:
+        Which scenario this rule describes.
+    cost:
+        Side-overlay units per color pair; :data:`HARD` = forbidden.
+    cut_risk:
+        Color pairs that additionally risk a type A cut conflict
+        (Section III-D); these are vetoed by the cut-conflict analysis
+        even when their overlay cost alone would be acceptable.
+    scales_with_overlap:
+        True for flank-coupled scenarios (1-a, 2-a) whose overlay length
+        grows with the projected overlap of the two wires.
+    base_cost:
+        The unavoidable side-overlay floor, already included in every
+        entry of ``cost``. Only 2-b is non-zero: the paper's Eq. (5)
+        charges routing cost ``T2b`` exactly because a 2-b scenario can
+        never be colored overlay-free.
+    """
+
+    scenario: ScenarioType
+    cost: Mapping[ColorPair, float]
+    cut_risk: Tuple[ColorPair, ...] = ()
+    scales_with_overlap: bool = False
+    base_cost: int = 0
+
+    def __post_init__(self) -> None:
+        missing = [p for p in ALL_PAIRS if p not in self.cost]
+        if missing:
+            raise ValueError(f"{self.scenario}: cost vector missing {missing}")
+
+    @property
+    def min_cost(self) -> float:
+        """'min SO' column of Table II: best achievable side overlay."""
+        return min(self.cost.values())
+
+    @property
+    def max_finite_cost(self) -> float:
+        """'max SO' column of Table II over non-hard assignments."""
+        finite = [c for c in self.cost.values() if c != HARD]
+        return max(finite) if finite else 0.0
+
+    @property
+    def has_hard(self) -> bool:
+        return any(c == HARD for c in self.cost.values())
+
+    @property
+    def hard_pairs(self) -> Tuple[ColorPair, ...]:
+        return tuple(p for p in ALL_PAIRS if self.cost[p] == HARD)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no color assignment ever induces side overlay.
+
+        Types 2-c, 2-d, and 3-e: the paper excludes them from the
+        constraint graph entirely.
+        """
+        return all(c == 0 for c in self.cost.values()) and self.base_cost == 0
+
+    def optimal_pairs(self) -> Tuple[ColorPair, ...]:
+        """The color assignments achieving ``min_cost`` ('color rule')."""
+        best = self.min_cost
+        return tuple(p for p in ALL_PAIRS if self.cost[p] == best)
+
+
+def _rule(
+    scenario: ScenarioType,
+    cc: float,
+    cs: float,
+    sc: float,
+    ss: float,
+    cut_risk: Tuple[ColorPair, ...] = (),
+    scales: bool = False,
+    base: int = 0,
+) -> ScenarioRule:
+    return ScenarioRule(
+        scenario=scenario,
+        cost={
+            ColorPair.CC: cc,
+            ColorPair.CS: cs,
+            ColorPair.SC: sc,
+            ColorPair.SS: ss,
+        },
+        cut_risk=cut_risk,
+        scales_with_overlap=scales,
+        base_cost=base,
+    )
+
+
+#: Table II in machine-readable form, keyed by scenario type.
+SCENARIO_RULES: Dict[ScenarioType, ScenarioRule] = {
+    rule.scenario: rule
+    for rule in (
+        # Type 1: hard scenarios (Figs. 24-25).
+        _rule(ScenarioType.T1A, HARD, 0, 0, HARD, scales=True),
+        _rule(
+            ScenarioType.T1B,
+            0,
+            HARD,
+            HARD,
+            0,
+            cut_risk=(ColorPair.CS, ColorPair.SC),
+        ),
+        # Type 2: aligned soft scenarios (Figs. 26-29).
+        _rule(
+            ScenarioType.T2A,
+            0,
+            2,
+            2,
+            0,
+            cut_risk=(ColorPair.CS, ColorPair.SC),
+            scales=True,
+        ),
+        _rule(
+            ScenarioType.T2B,
+            1,
+            2,
+            2,
+            1,
+            cut_risk=(ColorPair.CS,),
+            base=1,
+        ),
+        _rule(ScenarioType.T2C, 0, 0, 0, 0),
+        _rule(ScenarioType.T2D, 0, 0, 0, 0),
+        # Type 3: diagonal scenarios (Figs. 30-34).
+        _rule(ScenarioType.T3A, 1, 0, 0, 0),
+        _rule(ScenarioType.T3B, 1, 0, 1, 0),
+        _rule(ScenarioType.T3C, 0, 1, 0, 0, cut_risk=(ColorPair.CS,)),
+        _rule(ScenarioType.T3D, 0, 1, 1, 0),
+        _rule(ScenarioType.T3E, 0, 0, 0, 0),
+    )
+}
+
+
+#: Relation tuple -> scenario type, for parallel pairs keyed by
+#: (along, across) and orthogonal pairs keyed by the sorted tuple.
+_PARALLEL_MAP: Dict[Tuple[int, int], ScenarioType] = {
+    (0, 1): ScenarioType.T1A,
+    (1, 0): ScenarioType.T1B,
+    (0, 2): ScenarioType.T2A,
+    (2, 0): ScenarioType.T2B,
+    (1, 1): ScenarioType.T3A,
+    (1, 2): ScenarioType.T3D,
+    (2, 1): ScenarioType.T3E,
+}
+
+_ORTHOGONAL_MAP: Dict[Tuple[int, int], ScenarioType] = {
+    (0, 1): ScenarioType.T2C,
+    (0, 2): ScenarioType.T2D,
+    (1, 1): ScenarioType.T3B,
+    (1, 2): ScenarioType.T3C,
+}
+
+
+def scenario_for_relation(rel: GeometryRelation) -> Optional[ScenarioType]:
+    """Map a dependent-pair relation to its scenario type.
+
+    Returns ``None`` for relations outside the table (these are independent
+    by Theorem 2 and should not have been classified as dependent).
+    """
+    if rel.direction is Direction2.PARALLEL:
+        return _PARALLEL_MAP.get((rel.along, rel.across))
+    key = (min(rel.along, rel.across), max(rel.along, rel.across))
+    return _ORTHOGONAL_MAP.get(key)
+
+
+def oriented_cost(
+    rule: ScenarioRule, pair: ColorPair, a_is_tip_owner: bool, overlap: int
+) -> float:
+    """Cost of a color pair for a *detected* scenario instance.
+
+    Handles the two instance-specific twists:
+
+    * asymmetric scenarios (3-b, 3-c) are tabulated with A = tip-owner;
+      when the detected pair has B as the tip-owner the pair is swapped;
+    * flank-coupled scenarios scale with the projected overlap length.
+    """
+    effective = pair if a_is_tip_owner else pair.swapped
+    cost = rule.cost[effective]
+    if cost == HARD:
+        return HARD
+    if rule.scales_with_overlap:
+        cost *= max(overlap, 1)
+    return cost
+
+
+def table2_rows() -> list:
+    """Render Table II: (type, color rule, min SO, max SO) per scenario.
+
+    Trivial scenarios (2-c, 2-d, 3-e) are listed with dashes, mirroring the
+    paper's remark that they "are not considered".
+    """
+    rows = []
+    for stype in ScenarioType:
+        rule = SCENARIO_RULES[stype]
+        if rule.is_trivial:
+            rows.append((stype.value, "-", "-", "-"))
+            continue
+        best = "/".join(p.name for p in rule.optimal_pairs())
+        max_so = "hard" if rule.has_hard else str(int(rule.max_finite_cost))
+        rows.append((stype.value, best, str(int(rule.min_cost)), max_so))
+    return rows

@@ -1,0 +1,42 @@
+"""Bitmap SADP decomposition engine.
+
+Given a colored target layout (every pattern CORE or SECOND, in nm), this
+package synthesises the physical masks of the SADP cut process — core mask
+(with assist cores), spacers, cut mask — prints the wafer image, and
+measures what the paper's metrics mean physically: side/tip overlays
+(hard and non-hard) and cut conflicts.
+
+It is the library's ground truth: the router's graph-based overlay
+accounting is validated against it, and ``benchmarks/bench_table2.py``
+regenerates Table II from it.
+"""
+
+from .bitmap import Bitmap
+from .target import TargetPattern
+from .masks import MaskSet, synthesize_masks
+from .overlay import OverlayReport, measure_overlays
+from .cuts import BitmapCutConflict, find_cut_conflicts
+from .verify import DecompositionReport, verify_decomposition
+from .trim import TrimMaskSet, synthesize_trim_masks
+from .from_routing import routing_to_targets
+from .gdsii import GdsWriter, export_masks_gds
+from .clips import scenario_clip
+
+__all__ = [
+    "routing_to_targets",
+    "GdsWriter",
+    "export_masks_gds",
+    "scenario_clip",
+    "Bitmap",
+    "TargetPattern",
+    "MaskSet",
+    "synthesize_masks",
+    "OverlayReport",
+    "measure_overlays",
+    "BitmapCutConflict",
+    "find_cut_conflicts",
+    "DecompositionReport",
+    "verify_decomposition",
+    "TrimMaskSet",
+    "synthesize_trim_masks",
+]

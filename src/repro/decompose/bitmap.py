@@ -1,0 +1,208 @@
+"""Boolean raster canvas with morphology, in nm coordinates.
+
+The decomposition engine rasterises mask layers at a fixed resolution
+(default 5 nm/px, which divides every 10 nm-node rule exactly). A
+:class:`Bitmap` wraps a numpy boolean array plus the affine transform
+between nm coordinates and pixels, and provides the Euclidean-disc
+morphology (dilate / erode / close) that models isotropic spacer
+deposition and core-merge rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import GeometryError
+from ..geometry import Rect
+from ..units import DEFAULT_BITMAP_RESOLUTION_NM
+
+
+def disc(radius_px: int) -> np.ndarray:
+    """Euclidean disc structuring element of the given pixel radius."""
+    if radius_px < 0:
+        raise GeometryError(f"disc radius must be >= 0, got {radius_px}")
+    if radius_px == 0:
+        return np.ones((1, 1), dtype=bool)
+    span = np.arange(-radius_px, radius_px + 1)
+    xx, yy = np.meshgrid(span, span)
+    return (xx * xx + yy * yy) <= radius_px * radius_px
+
+
+class Bitmap:
+    """A boolean image over a window of the nm plane.
+
+    ``origin`` is the nm coordinate of pixel (0, 0); indexing is
+    ``mask[ix, iy]`` with x = column-like first axis for symmetry with the
+    rest of the library. All bitmaps participating in one decomposition
+    share the same window and resolution.
+    """
+
+    def __init__(
+        self,
+        window: Rect,
+        resolution: int = DEFAULT_BITMAP_RESOLUTION_NM,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if resolution <= 0:
+            raise GeometryError(f"resolution must be positive, got {resolution}")
+        if (window.width % resolution) or (window.height % resolution):
+            raise GeometryError(
+                f"window {window} is not a multiple of resolution {resolution}"
+            )
+        self.window = window
+        self.resolution = resolution
+        shape = (window.width // resolution, window.height // resolution)
+        if data is None:
+            self.data = np.zeros(shape, dtype=bool)
+        else:
+            if data.shape != shape:
+                raise GeometryError(f"data shape {data.shape} != window shape {shape}")
+            self.data = data.astype(bool)
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+
+    def _to_px(self, rect: Rect) -> Tuple[int, int, int, int]:
+        res = self.resolution
+        xlo = (rect.xlo - self.window.xlo) // res
+        ylo = (rect.ylo - self.window.ylo) // res
+        xhi = -(-(rect.xhi - self.window.xlo) // res)  # ceil division
+        yhi = -(-(rect.yhi - self.window.ylo) // res)
+        return xlo, ylo, xhi, yhi
+
+    def px_radius(self, nm: int) -> int:
+        """nm length -> pixel count (must divide exactly to avoid bias)."""
+        if nm % self.resolution:
+            raise GeometryError(
+                f"{nm} nm is not a multiple of the {self.resolution} nm/px grid"
+            )
+        return nm // self.resolution
+
+    # ------------------------------------------------------------------ #
+    # Drawing
+    # ------------------------------------------------------------------ #
+
+    def fill(self, rect: Rect, value: bool = True) -> None:
+        """Set all pixels of the nm rectangle (clipped to the window)."""
+        xlo, ylo, xhi, yhi = self._to_px(rect)
+        xlo, ylo = max(xlo, 0), max(ylo, 0)
+        xhi = min(xhi, self.data.shape[0])
+        yhi = min(yhi, self.data.shape[1])
+        if xlo < xhi and ylo < yhi:
+            self.data[xlo:xhi, ylo:yhi] = value
+
+    @classmethod
+    def from_rects(
+        cls,
+        window: Rect,
+        rects: Iterable[Rect],
+        resolution: int = DEFAULT_BITMAP_RESOLUTION_NM,
+    ) -> "Bitmap":
+        bmp = cls(window, resolution)
+        for rect in rects:
+            bmp.fill(rect)
+        return bmp
+
+    def _like(self, data: np.ndarray) -> "Bitmap":
+        return Bitmap(self.window, self.resolution, data)
+
+    # ------------------------------------------------------------------ #
+    # Boolean algebra
+    # ------------------------------------------------------------------ #
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        self._compatible(other)
+        return self._like(self.data | other.data)
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        self._compatible(other)
+        return self._like(self.data & other.data)
+
+    def __sub__(self, other: "Bitmap") -> "Bitmap":
+        self._compatible(other)
+        return self._like(self.data & ~other.data)
+
+    def __invert__(self) -> "Bitmap":
+        return self._like(~self.data)
+
+    def _compatible(self, other: "Bitmap") -> None:
+        if self.window != other.window or self.resolution != other.resolution:
+            raise GeometryError("bitmaps live on different windows/resolutions")
+
+    def copy(self) -> "Bitmap":
+        return self._like(self.data.copy())
+
+    # ------------------------------------------------------------------ #
+    # Morphology (Euclidean disc)
+    # ------------------------------------------------------------------ #
+
+    def dilate(self, nm: int) -> "Bitmap":
+        r = self.px_radius(nm)
+        if r == 0 or not self.data.any():
+            return self.copy()
+        return self._like(ndimage.binary_dilation(self.data, structure=disc(r)))
+
+    def erode(self, nm: int) -> "Bitmap":
+        r = self.px_radius(nm)
+        if r == 0 or not self.data.any():
+            return self.copy()
+        return self._like(ndimage.binary_erosion(self.data, structure=disc(r)))
+
+    def close(self, nm: int) -> "Bitmap":
+        """Morphological closing: fuses gaps strictly smaller than 2*nm."""
+        r = self.px_radius(nm)
+        if r == 0 or not self.data.any():
+            return self.copy()
+        structure = disc(r)
+        # Pad so closing behaves correctly near the window border.
+        padded = np.pad(self.data, r, mode="constant")
+        closed = ndimage.binary_erosion(
+            ndimage.binary_dilation(padded, structure=structure), structure=structure
+        )
+        return self._like(closed[r:-r, r:-r])
+
+    # ------------------------------------------------------------------ #
+    # Measures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def any(self) -> bool:
+        return bool(self.data.any())
+
+    def area_nm2(self) -> int:
+        return int(self.data.sum()) * self.resolution * self.resolution
+
+    def count(self) -> int:
+        return int(self.data.sum())
+
+    def overlaps(self, other: "Bitmap") -> bool:
+        self._compatible(other)
+        return bool((self.data & other.data).any())
+
+    def components(self) -> List[np.ndarray]:
+        """Connected components (8-connectivity) as boolean arrays."""
+        labels, n = ndimage.label(self.data, structure=np.ones((3, 3), dtype=bool))
+        return [labels == i for i in range(1, n + 1)]
+
+    def component_count(self) -> int:
+        _, n = ndimage.label(self.data, structure=np.ones((3, 3), dtype=bool))
+        return int(n)
+
+    def sample(self, x_nm: int, y_nm: int) -> bool:
+        """Value of the pixel containing the nm point (False outside)."""
+        ix = (x_nm - self.window.xlo) // self.resolution
+        iy = (y_nm - self.window.ylo) // self.resolution
+        if 0 <= ix < self.data.shape[0] and 0 <= iy < self.data.shape[1]:
+            return bool(self.data[ix, iy])
+        return False
+
+    def to_ascii(self, glyph: str = "#", empty: str = ".") -> str:
+        """Debug rendering, y increasing upward."""
+        rows = []
+        for iy in range(self.data.shape[1] - 1, -1, -1):
+            rows.append("".join(glyph if v else empty for v in self.data[:, iy]))
+        return "\n".join(rows)

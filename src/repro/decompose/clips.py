@@ -1,0 +1,102 @@
+"""Canonical two-pattern clips for every overlay scenario.
+
+One minimal layout per scenario type (Fig. 9 of the paper), parameterised
+by the color pair — the geometry the appendix figures (Figs. 24–34)
+enumerate. Used by the Table II regeneration bench, the scenario atlas
+example, and anyone wanting a physical look at a single scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..color import Color, ColorPair
+from ..core.scenarios import ScenarioType
+from ..errors import DecompositionError
+from ..geometry import Rect
+from ..rules import DesignRules
+from .target import TargetPattern
+
+#: Length (in tracks) of the long wires in flank-coupled clips.
+FLANK_LENGTH = 10
+
+
+def _hwire(rules: DesignRules, net: int, x0t: int, x1t: int, yt: int, color: Color) -> TargetPattern:
+    pitch, half = rules.pitch, rules.w_line // 2
+    return TargetPattern.wire(
+        net,
+        Rect(x0t * pitch - half, yt * pitch - half, x1t * pitch + half, yt * pitch + half),
+        color,
+    )
+
+
+def _vwire(rules: DesignRules, net: int, y0t: int, y1t: int, xt: int, color: Color) -> TargetPattern:
+    pitch, half = rules.pitch, rules.w_line // 2
+    return TargetPattern.wire(
+        net,
+        Rect(xt * pitch - half, y0t * pitch - half, xt * pitch + half, y1t * pitch + half),
+        color,
+    )
+
+
+def scenario_clip(
+    scenario: ScenarioType, pair: ColorPair, rules: DesignRules = None
+) -> List[TargetPattern]:
+    """The canonical two-pattern clip of a scenario under a color pair.
+
+    Pattern A is net 0 (colored ``pair.a``), pattern B net 1 (``pair.b``);
+    geometry is in nm, ready for :func:`~repro.decompose.synthesize_masks`.
+    """
+    rules = rules or DesignRules()
+    builders: Dict[ScenarioType, Callable[[Color, Color], Tuple[TargetPattern, TargetPattern]]] = {
+        ScenarioType.T1A: lambda ca, cb: (
+            _hwire(rules, 0, 0, FLANK_LENGTH, 0, ca),
+            _hwire(rules, 1, 0, FLANK_LENGTH, 1, cb),
+        ),
+        ScenarioType.T1B: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _hwire(rules, 1, 6, 12, 0, cb),
+        ),
+        ScenarioType.T2A: lambda ca, cb: (
+            _hwire(rules, 0, 0, FLANK_LENGTH, 0, ca),
+            _hwire(rules, 1, 0, FLANK_LENGTH, 2, cb),
+        ),
+        ScenarioType.T2B: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _hwire(rules, 1, 7, 13, 0, cb),
+        ),
+        ScenarioType.T2C: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _vwire(rules, 1, -3, 3, 6, cb),
+        ),
+        ScenarioType.T2D: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _vwire(rules, 1, -3, 3, 7, cb),
+        ),
+        ScenarioType.T3A: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _hwire(rules, 1, 6, 12, 1, cb),
+        ),
+        ScenarioType.T3B: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _vwire(rules, 1, 1, 6, 6, cb),
+        ),
+        ScenarioType.T3C: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _vwire(rules, 1, 2, 7, 6, cb),
+        ),
+        ScenarioType.T3D: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _hwire(rules, 1, 6, 12, 2, cb),
+        ),
+        ScenarioType.T3E: lambda ca, cb: (
+            _hwire(rules, 0, 0, 5, 0, ca),
+            _hwire(rules, 1, 7, 13, 1, cb),
+        ),
+    }
+    try:
+        builder = builders[scenario]
+    except KeyError:  # pragma: no cover - exhaustive enum
+        raise DecompositionError(f"no clip for scenario {scenario}") from None
+    a, b = builder(pair.a, pair.b)
+    return [a, b]

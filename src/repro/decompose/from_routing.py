@@ -1,0 +1,67 @@
+"""Bridge from routing results to decomposition targets.
+
+Lowers a routed layer into colored :class:`TargetPattern` objects so the
+bitmap engine can verify what the router promised: the committed layout
+decomposes with no hard overlay and no cut conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..color import Color
+from ..geometry import Rect
+from ..grid import RoutingGrid
+from ..router.result import RoutingResult
+from .target import TargetPattern
+
+
+def routing_to_targets(
+    grid: RoutingGrid,
+    result: RoutingResult,
+    layer: int,
+    coloring: Optional[Dict[int, Color]] = None,
+    clip: Optional[Rect] = None,
+) -> List[TargetPattern]:
+    """Colored nm patterns of one routed layer.
+
+    ``coloring`` defaults to the result's own per-layer assignment; nets
+    without a color default to CORE (matching the router's convention).
+    ``clip`` (track coordinates) restricts to a window — used to verify
+    manageable clips of large results.
+    """
+    if coloring is None:
+        coloring = result.colorings.get(layer, {})
+    half = grid.rules.w_line // 2
+    pitch = grid.rules.pitch
+    patterns: List[TargetPattern] = []
+    for net_id, route in sorted(result.routes.items()):
+        if not route.success:
+            continue
+        rects = []
+        horizontals = []
+        for seg in route.segments:
+            if seg.layer != layer:
+                continue
+            if clip is not None and not seg.to_rect().overlaps(clip):
+                continue
+            cell = seg.to_rect()
+            rects.append(
+                Rect(
+                    cell.xlo * pitch - half,
+                    cell.ylo * pitch - half,
+                    (cell.xhi - 1) * pitch + half,
+                    (cell.yhi - 1) * pitch + half,
+                )
+            )
+            horizontals.append(seg.horizontal)
+        if rects:
+            patterns.append(
+                TargetPattern(
+                    net_id=net_id,
+                    rects=tuple(rects),
+                    color=coloring.get(net_id, Color.CORE),
+                    horizontal=tuple(horizontals),
+                )
+            )
+    return patterns

@@ -1,0 +1,191 @@
+"""Minimal GDSII stream writer for mask export (no dependencies).
+
+Foundries consume mask data as GDSII streams; this module writes the
+subset needed to ship a decomposed window — one structure with one layer
+per mask (target / core / assist / spacer / cut), rectangles as BOUNDARY
+records. The output is a valid GDSII v6 stream readable by KLayout,
+gdstk, etc.
+
+Only writing is supported (reading GDSII is out of scope for this
+library); the unit setup is 1 db-unit = 1 nm.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..errors import DecompositionError
+from ..geometry import Rect
+
+# GDSII record types (type byte, data-type byte).
+_HEADER = (0x00, 0x02)
+_BGNLIB = (0x01, 0x02)
+_LIBNAME = (0x02, 0x06)
+_UNITS = (0x03, 0x05)
+_ENDLIB = (0x04, 0x00)
+_BGNSTR = (0x05, 0x02)
+_STRNAME = (0x06, 0x06)
+_ENDSTR = (0x07, 0x00)
+_BOUNDARY = (0x08, 0x00)
+_LAYER = (0x0D, 0x02)
+_DATATYPE = (0x0E, 0x02)
+_XY = (0x10, 0x03)
+_ENDEL = (0x11, 0x00)
+
+#: Default layer numbering of the exported masks.
+DEFAULT_LAYER_MAP: Dict[str, int] = {
+    "target": 1,
+    "core": 10,
+    "assist": 11,
+    "spacer": 20,
+    "cut": 30,
+    "second": 2,
+}
+
+#: A dummy timestamp (year, month, day, hour, minute, second) twice —
+#: deterministic output beats real modification times for testing and
+#: reproducible builds.
+_TIMESTAMP = (2016, 8, 18, 0, 0, 0) * 2
+
+
+def _record(rec: Tuple[int, int], payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    if length % 2:
+        raise DecompositionError("GDSII records must have even length")
+    return struct.pack(">HBB", length, rec[0], rec[1]) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\0"
+    return data
+
+
+def _gds_real8(value: float) -> bytes:
+    """Encode a float as GDSII 8-byte excess-64 real."""
+    if value == 0:
+        return b"\0" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 0
+    while value >= 1:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B7s", sign | (exponent + 64), mantissa.to_bytes(7, "big"))
+
+
+@dataclass
+class GdsWriter:
+    """Accumulates rectangles per layer and writes one GDSII structure."""
+
+    library: str = "REPRO"
+    structure: str = "TOP"
+    layer_map: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYER_MAP))
+    _shapes: List[Tuple[int, Rect]] = field(default_factory=list)
+
+    def add_rect(self, layer: Union[str, int], rect: Rect) -> None:
+        """Queue one rectangle; ``layer`` is a mask name or a raw number."""
+        if isinstance(layer, str):
+            try:
+                layer_no = self.layer_map[layer]
+            except KeyError:
+                raise DecompositionError(f"unknown mask layer {layer!r}") from None
+        else:
+            layer_no = int(layer)
+        self._shapes.append((layer_no, rect))
+
+    def add_rects(self, layer: Union[str, int], rects: Iterable[Rect]) -> None:
+        for rect in rects:
+            self.add_rect(layer, rect)
+
+    @property
+    def shape_count(self) -> int:
+        return len(self._shapes)
+
+    def to_bytes(self) -> bytes:
+        out = [
+            _record(_HEADER, struct.pack(">h", 600)),
+            _record(_BGNLIB, struct.pack(">12h", *_TIMESTAMP)),
+            _record(_LIBNAME, _ascii(self.library)),
+            # 1 user unit = 1e-3 um, 1 db unit = 1e-9 m (1 nm).
+            _record(_UNITS, _gds_real8(1e-3) + _gds_real8(1e-9)),
+            _record(_BGNSTR, struct.pack(">12h", *_TIMESTAMP)),
+            _record(_STRNAME, _ascii(self.structure)),
+        ]
+        for layer_no, rect in self._shapes:
+            xy = struct.pack(
+                ">10i",
+                rect.xlo, rect.ylo,
+                rect.xhi, rect.ylo,
+                rect.xhi, rect.yhi,
+                rect.xlo, rect.yhi,
+                rect.xlo, rect.ylo,  # closed ring
+            )
+            out.append(_record(_BOUNDARY))
+            out.append(_record(_LAYER, struct.pack(">h", layer_no)))
+            out.append(_record(_DATATYPE, struct.pack(">h", 0)))
+            out.append(_record(_XY, xy))
+            out.append(_record(_ENDEL))
+        out.append(_record(_ENDSTR))
+        out.append(_record(_ENDLIB))
+        return b"".join(out)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_bytes(self.to_bytes())
+        return path
+
+
+def export_masks_gds(masks, path: Union[str, Path], include_spacer: bool = True) -> Path:
+    """Export a decomposed :class:`~repro.decompose.MaskSet` as GDSII.
+
+    Layers follow :data:`DEFAULT_LAYER_MAP`; bitmap layers are converted
+    to row-run rectangles (exact, reasonably compact).
+    """
+    from ..viz.svg import _bitmap_rects
+
+    writer = GdsWriter()
+    for pattern in masks.targets:
+        for rect in pattern.rects:
+            writer.add_rect("target", rect)
+    writer.add_rects("core", _bitmap_rects(masks.core_targets))
+    writer.add_rects("assist", _bitmap_rects(masks.assist))
+    writer.add_rects("cut", _bitmap_rects(masks.cut_mask))
+    if include_spacer:
+        writer.add_rects("spacer", _bitmap_rects(masks.spacer))
+    return writer.write(path)
+
+
+def parse_gds_layers(data: bytes) -> Dict[int, int]:
+    """Tiny sanity parser: {layer number: boundary count} of a stream.
+
+    Exists so tests (and users without a GDS viewer) can check exports;
+    it only walks record headers and LAYER payloads.
+    """
+    counts: Dict[int, int] = {}
+    offset = 0
+    current_layer = None
+    while offset + 4 <= len(data):
+        length, rtype, _ = struct.unpack(">HBB", data[offset : offset + 4])
+        if length < 4:
+            raise DecompositionError(f"corrupt GDSII record at offset {offset}")
+        payload = data[offset + 4 : offset + length]
+        if rtype == _LAYER[0]:
+            current_layer = struct.unpack(">h", payload)[0]
+        elif rtype == _ENDEL[0] and current_layer is not None:
+            counts[current_layer] = counts.get(current_layer, 0) + 1
+            current_layer = None
+        elif rtype == _ENDLIB[0]:
+            break
+        offset += length
+    return counts

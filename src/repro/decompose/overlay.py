@@ -1,0 +1,182 @@
+"""Overlay metrology on decomposed bitmaps (Section II-A, made physical).
+
+A boundary section of a printed feature is **protected** when the pixel
+just outside it is spacer (or more target material — interior edges of a
+polygon). Anything else — cut mask or unwanted region — means that section
+is defined directly by the cut mask and suffers overlay on mask shift:
+
+* **side overlay** — unprotected run on a *side* boundary (the long edges
+  of a wire). Runs longer than ``w_line`` are **hard overlays**, which the
+  router must never produce.
+* **tip overlay** — unprotected run on a wire end; non-critical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..geometry import Rect
+from .masks import MaskSet
+from .target import TargetPattern
+
+
+@dataclass(frozen=True)
+class EdgeOverlay:
+    """Unprotected runs on one edge of one target rectangle."""
+
+    net_id: int
+    rect: Rect
+    edge: str  # 'N', 'S', 'E', 'W'
+    is_side: bool
+    runs_nm: Tuple[Tuple[int, int], ...]  # (start, length) in nm along the edge
+
+    @property
+    def total_nm(self) -> int:
+        return sum(length for _, length in self.runs_nm)
+
+    @property
+    def max_run_nm(self) -> int:
+        return max((length for _, length in self.runs_nm), default=0)
+
+
+@dataclass
+class OverlayReport:
+    """Aggregate overlay metrology of one decomposed window."""
+
+    side_overlay_nm: int = 0
+    tip_overlay_nm: int = 0
+    hard_overlay_count: int = 0
+    edges: List[EdgeOverlay] = field(default_factory=list)
+
+    @property
+    def side_overlay_units(self) -> float:
+        """Side overlay in paper units; filled in by the caller via w_line."""
+        return self._units
+
+    _units: float = 0.0
+
+    def finalize(self, w_line: int) -> "OverlayReport":
+        self._units = self.side_overlay_nm / w_line
+        return self
+
+    def per_net_side_overlay(self) -> dict:
+        """nm of side overlay attributed to each net (victims' view).
+
+        The physical counterpart of the constraint graph's edge costs:
+        which nets' boundaries actually end up cut-defined.
+        """
+        totals: dict = {}
+        for edge in self.edges:
+            if edge.is_side:
+                totals[edge.net_id] = totals.get(edge.net_id, 0) + edge.total_nm
+        return totals
+
+    def worst_net(self):
+        """(net_id, nm) of the most-exposed net, or None when clean."""
+        totals = self.per_net_side_overlay()
+        if not totals:
+            return None
+        net_id = max(totals, key=totals.get)
+        return net_id, totals[net_id]
+
+
+def _runs_from_mask(mask: np.ndarray, origin_nm: int, resolution: int) -> Tuple[Tuple[int, int], ...]:
+    """(start_nm, length_nm) of every True run in a 1-D boolean array."""
+    if not mask.any():
+        return ()
+    padded = np.concatenate(([False], mask, [False]))
+    diff = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(diff == 1)
+    ends = np.flatnonzero(diff == -1)
+    return tuple(
+        (origin_nm + int(s) * resolution, int(e - s) * resolution)
+        for s, e in zip(starts, ends)
+    )
+
+
+def measure_overlays(masks: MaskSet, hard_threshold_nm: int = None) -> OverlayReport:
+    """Measure side/tip overlays of every target fragment in the window.
+
+    ``hard_threshold_nm`` defaults to ``w_line``: a side run strictly longer
+    than it counts as a hard overlay.
+    """
+    rules = masks.rules
+    if hard_threshold_nm is None:
+        hard_threshold_nm = rules.w_line
+    res = masks.resolution
+    window = masks.window
+    spacer = masks.spacer.data
+    target = masks.target_bmp.data
+    protected = spacer | target
+    nx, ny = protected.shape
+
+    report = OverlayReport()
+    for pattern in masks.targets:
+        for rect, horizontal in zip(pattern.rects, pattern.horizontal):
+            for edge_name, is_side, sl in _edges(rect, horizontal, window, res, nx, ny):
+                if sl is None:
+                    continue
+                axis_slice, origin = sl
+                outside = protected[axis_slice]
+                uncovered = ~outside
+                runs = _runs_from_mask(uncovered, origin, res)
+                if not runs:
+                    continue
+                edge = EdgeOverlay(
+                    net_id=pattern.net_id,
+                    rect=rect,
+                    edge=edge_name,
+                    is_side=is_side,
+                    runs_nm=runs,
+                )
+                report.edges.append(edge)
+                if is_side:
+                    report.side_overlay_nm += edge.total_nm
+                    if edge.max_run_nm > hard_threshold_nm:
+                        report.hard_overlay_count += 1
+                else:
+                    report.tip_overlay_nm += edge.total_nm
+    return report.finalize(rules.w_line)
+
+
+def _edges(rect: Rect, horizontal: bool, window: Rect, res: int, nx: int, ny: int):
+    """Yield (name, is_side, (array slice of outside pixels, origin_nm))."""
+    x0 = (rect.xlo - window.xlo) // res
+    x1 = (rect.xhi - window.xlo) // res
+    y0 = (rect.ylo - window.ylo) // res
+    y1 = (rect.yhi - window.ylo) // res
+
+    def row(iy: int, lo: int, hi: int, origin: int):
+        clo, chi = max(lo, 0), min(hi, nx)
+        if 0 <= iy < ny and clo < chi:
+            return (np.s_[clo:chi, iy], origin + (clo - lo) * res)
+        return None
+
+    def col(ix: int, lo: int, hi: int, origin: int):
+        clo, chi = max(lo, 0), min(hi, ny)
+        if 0 <= ix < nx and clo < chi:
+            return (np.s_[ix, clo:chi], origin + (clo - lo) * res)
+        return None
+
+    horizontal_edges = [
+        ("S", row(y0 - 1, x0, x1, rect.xlo)),
+        ("N", row(y1, x0, x1, rect.xlo)),
+    ]
+    vertical_edges = [
+        ("W", col(x0 - 1, y0, y1, rect.ylo)),
+        ("E", col(x1, y0, y1, rect.ylo)),
+    ]
+    # Side edges run along the wire direction; the others are tips.
+    if horizontal:
+        for name, sl in horizontal_edges:
+            yield name, True, sl
+        for name, sl in vertical_edges:
+            yield name, False, sl
+    else:
+        for name, sl in vertical_edges:
+            yield name, True, sl
+        for name, sl in horizontal_edges:
+            yield name, False, sl

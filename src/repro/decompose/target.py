@@ -1,0 +1,50 @@
+"""Colored target patterns: the decomposition engine's input."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..color import Color
+from ..errors import DecompositionError
+from ..geometry import Rect
+
+
+@dataclass(frozen=True)
+class TargetPattern:
+    """One printed feature: its nm rectangles, its mask color, its owner.
+
+    ``horizontal`` records the wire direction of each rectangle so that
+    overlay metrology can tell side boundaries (critical) from tips
+    (non-critical). Rectangles of one pattern must belong to one net and
+    carry one color — per-layer color freedom is modelled by passing each
+    layer's patterns separately.
+    """
+
+    net_id: int
+    rects: Tuple[Rect, ...]
+    color: Color
+    horizontal: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rects:
+            raise DecompositionError("target pattern needs at least one rect")
+        if len(self.rects) != len(self.horizontal):
+            raise DecompositionError("rects and horizontal flags must align")
+
+    @classmethod
+    def wire(cls, net_id: int, rect: Rect, color: Color) -> "TargetPattern":
+        """A single-rectangle wire; direction inferred from the long axis."""
+        return cls(
+            net_id=net_id,
+            rects=(rect,),
+            color=color,
+            horizontal=(rect.is_horizontal,),
+        )
+
+    @property
+    def bbox(self) -> Rect:
+        box = self.rects[0]
+        for r in self.rects[1:]:
+            box = box.hull(r)
+        return box

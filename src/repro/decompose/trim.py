@@ -1,0 +1,151 @@
+"""SADP *trim*-process decomposition (the baselines' process, Fig. 1(c)).
+
+In the trim process the final layout is what the trim mask keeps among the
+non-spacer regions. Compared with the cut process:
+
+* core patterns closer than ``d_core`` **cannot** be merged-and-cut — they
+  are simply undecomposable (a *core spacing conflict*; this is why odd
+  cycles break the trim baselines);
+* second patterns get no assist cores in the published trim routers
+  [10], [11], so every second-pattern boundary not facing a core spacer is
+  trim-defined and overlays;
+* *trim conflicts* arise at parallel line ends whose trim edges are closer
+  than the mask rule (we use ``d_cut`` for the trim mask as well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..color import Color
+from ..geometry import Rect
+from ..rules import DesignRules
+from ..units import DEFAULT_BITMAP_RESOLUTION_NM
+from .bitmap import Bitmap
+from .masks import default_window
+from .overlay import OverlayReport, measure_overlays
+from .target import TargetPattern
+
+
+@dataclass
+class TrimMaskSet:
+    """Masks of one trim-process window plus its conflicts."""
+
+    window: Rect
+    resolution: int
+    rules: DesignRules
+    targets: List[TargetPattern]
+    target_bmp: Bitmap
+    core_mask: Bitmap
+    spacer: Bitmap
+    trim_mask: Bitmap
+    printed: Bitmap
+    core_spacing_conflicts: List[Tuple[int, int]] = field(default_factory=list)
+    trim_conflicts: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def conflict_count(self) -> int:
+        return len(self.core_spacing_conflicts) + len(self.trim_conflicts)
+
+
+def _pattern_gap(a: TargetPattern, b: TargetPattern) -> float:
+    best = None
+    for ra in a.rects:
+        for rb in b.rects:
+            g = ra.euclidean_gap_sq(rb) ** 0.5
+            best = g if best is None else min(best, g)
+    return best if best is not None else float("inf")
+
+
+def _tips(pattern: TargetPattern) -> List[Rect]:
+    """Thin strips at the two line ends of each rectangle."""
+    tips = []
+    for rect, horizontal in zip(pattern.rects, pattern.horizontal):
+        if horizontal:
+            tips.append(Rect(rect.xlo, rect.ylo, rect.xlo + 1, rect.yhi))
+            tips.append(Rect(rect.xhi - 1, rect.ylo, rect.xhi, rect.yhi))
+        else:
+            tips.append(Rect(rect.xlo, rect.ylo, rect.xhi, rect.ylo + 1))
+            tips.append(Rect(rect.xlo, rect.yhi - 1, rect.xhi, rect.yhi))
+    return tips
+
+
+def synthesize_trim_masks(
+    targets,
+    rules: DesignRules,
+    window: Rect = None,
+    resolution: int = DEFAULT_BITMAP_RESOLUTION_NM,
+) -> TrimMaskSet:
+    """Decompose a colored window with the trim process (no assists)."""
+    targets = list(targets)
+    if window is None:
+        window = default_window(targets, rules)
+
+    target_bmp = Bitmap(window, resolution)
+    core_mask = Bitmap(window, resolution)
+    for pattern in targets:
+        for rect in pattern.rects:
+            target_bmp.fill(rect)
+            if pattern.color is Color.CORE:
+                core_mask.fill(rect)
+
+    spacer = core_mask.dilate(rules.w_spacer) - core_mask
+    # Trim keeps the targets; it may ride over spacer for margin.
+    trim_mask = target_bmp.dilate(rules.d_overlap) - (target_bmp.dilate(rules.d_overlap) - (target_bmp | spacer))
+    printed = (~spacer) & trim_mask
+
+    mask_set = TrimMaskSet(
+        window=window,
+        resolution=resolution,
+        rules=rules,
+        targets=targets,
+        target_bmp=target_bmp,
+        core_mask=core_mask,
+        spacer=spacer,
+        trim_mask=trim_mask,
+        printed=printed,
+    )
+
+    # Core spacing conflicts: same-color (core) patterns below d_core.
+    cores = [t for t in targets if t.color is Color.CORE]
+    for i, a in enumerate(cores):
+        for b in cores[i + 1 :]:
+            if _pattern_gap(a, b) < rules.d_core:
+                mask_set.core_spacing_conflicts.append((a.net_id, b.net_id))
+
+    # Trim conflicts: unprotected line ends of different nets too close.
+    spacer_data = spacer.data
+    ends: List[Tuple[int, Rect]] = []
+    for pattern in targets:
+        if pattern.color is Color.CORE:
+            continue  # core tips are core-mask defined
+        for tip in _tips(pattern):
+            ends.append((pattern.net_id, tip))
+    for i, (net_a, tip_a) in enumerate(ends):
+        for net_b, tip_b in ends[i + 1 :]:
+            if net_a == net_b:
+                continue
+            gap = tip_a.euclidean_gap_sq(tip_b) ** 0.5
+            if gap < rules.d_cut:
+                mask_set.trim_conflicts.append((net_a, net_b))
+    return mask_set
+
+
+def measure_trim_overlays(mask_set: TrimMaskSet) -> OverlayReport:
+    """Overlay of SECOND patterns only (core boundaries are self-defined)."""
+    seconds = [t for t in mask_set.targets if t.color is Color.SECOND]
+    proxy = _TrimOverlayProxy(mask_set, seconds)
+    return measure_overlays(proxy)
+
+
+class _TrimOverlayProxy:
+    """Adapter letting :func:`measure_overlays` run on trim masks."""
+
+    def __init__(self, mask_set: TrimMaskSet, patterns: List[TargetPattern]) -> None:
+        self.rules = mask_set.rules
+        self.resolution = mask_set.resolution
+        self.window = mask_set.window
+        self.spacer = mask_set.spacer
+        self.target_bmp = mask_set.target_bmp
+        self.targets = patterns

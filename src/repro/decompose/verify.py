@@ -1,0 +1,57 @@
+"""Decomposition correctness verifier.
+
+Checks that a synthesised mask set actually manufactures the target
+layout: every target pixel prints, no spacer or core-merge material
+invades a feature, and the cut mask is conflict-free over patterns. The
+router's "routing results are guaranteed to be conflict-free and thus
+decomposable" claim (contribution 5) is validated through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .cuts import BitmapCutConflict, find_cut_conflicts
+from .masks import MaskSet
+from .overlay import OverlayReport, measure_overlays
+
+
+@dataclass
+class DecompositionReport:
+    """Outcome of verifying one decomposed window."""
+
+    prints_correctly: bool
+    missing_target_px: int
+    spacer_over_target_px: int
+    overlay: OverlayReport
+    cut_conflicts: List[BitmapCutConflict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Manufacturable with no hard overlay and no cut conflict."""
+        return (
+            self.prints_correctly
+            and not self.cut_conflicts
+            and self.overlay.hard_overlay_count == 0
+        )
+
+
+def verify_decomposition(masks: MaskSet, noise_px: int = 2) -> DecompositionReport:
+    """Full physical check of one decomposition.
+
+    ``noise_px`` tolerates single-pixel rasterisation artefacts at rounded
+    spacer corners when judging printability.
+    """
+    target = masks.target_bmp
+    missing = (target - masks.printed).count()
+    spacer_clash = (masks.spacer & target).count()
+    overlay = measure_overlays(masks)
+    conflicts = find_cut_conflicts(masks)
+    return DecompositionReport(
+        prints_correctly=(missing <= noise_px and spacer_clash <= noise_px),
+        missing_target_px=missing,
+        spacer_over_target_px=spacer_clash,
+        overlay=overlay,
+        cut_conflicts=conflicts,
+    )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the SADP routing library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish geometry problems from rule problems from
+routing problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Raised for malformed or degenerate geometric objects."""
+
+
+class DesignRuleError(ReproError):
+    """Raised when a design-rule set is internally inconsistent.
+
+    The SADP cut-process rules must satisfy Eqs. (1)-(3) of the paper;
+    a :class:`~repro.rules.DesignRules` object that violates them raises
+    this error at construction time rather than producing silently bogus
+    decompositions later.
+    """
+
+
+class GridError(ReproError):
+    """Raised for invalid routing-grid operations (out of bounds, bad layer)."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists (duplicate names, missing pins, ...)."""
+
+
+class RoutingError(ReproError):
+    """Raised when routing cannot proceed (e.g. pin on a blocked grid)."""
+
+
+class ColoringError(ReproError):
+    """Raised when a color assignment request is infeasible.
+
+    The main source is a hard-constraint odd cycle in the overlay constraint
+    graph: no two-coloring exists that avoids hard overlays.
+    """
+
+
+class DecompositionError(ReproError):
+    """Raised when SADP mask synthesis fails or verification detects that
+    the printed wafer image does not match the target layout."""

@@ -1,0 +1,190 @@
+"""Half-open 1-D integer intervals and interval sets.
+
+Overlay metrology reduces to 1-D bookkeeping along pattern boundaries:
+"which sections of this edge are protected by a spacer?" is an interval
+subtraction. :class:`Interval` is a single ``[lo, hi)`` span;
+:class:`IntervalSet` is a normalised disjoint union supporting the boolean
+operations the decomposition engine needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open integer interval ``[lo, hi)`` with ``lo < hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo >= self.hi:
+            raise GeometryError(f"empty interval [{self.lo}, {self.hi})")
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value < self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the interiors intersect (touching endpoints do not count)."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def touches_or_overlaps(self, other: "Interval") -> bool:
+        """True when the closures intersect (shared endpoint counts)."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return Interval(lo, hi) if lo < hi else None
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def gap_to(self, other: "Interval") -> int:
+        """Distance between the two intervals; 0 when they touch or overlap."""
+        if self.touches_or_overlaps(other):
+            return 0
+        return other.lo - self.hi if other.lo >= self.hi else self.lo - other.hi
+
+    def shifted(self, delta: int) -> "Interval":
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def expanded(self, amount: int) -> "Interval":
+        """Dilate both ends by ``amount`` (may not empty the interval)."""
+        if 2 * amount <= -self.length:
+            raise GeometryError(f"expanding {self} by {amount} empties it")
+        return Interval(self.lo - amount, self.hi + amount)
+
+
+class IntervalSet:
+    """A normalised (sorted, disjoint, non-touching) set of intervals.
+
+    Supports union, subtraction and intersection in O(n + m), which is all
+    the boundary-coverage bookkeeping needs. Adjacent intervals are merged,
+    so ``total_length`` is well defined and iteration order is canonical.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._ivs: List[Interval] = self._normalise(list(intervals))
+
+    @staticmethod
+    def _normalise(ivs: List[Interval]) -> List[Interval]:
+        if not ivs:
+            return []
+        ivs.sort()
+        merged = [ivs[0]]
+        for iv in ivs[1:]:
+            last = merged[-1]
+            if iv.lo <= last.hi:
+                if iv.hi > last.hi:
+                    merged[-1] = Interval(last.lo, iv.hi)
+            else:
+                merged.append(iv)
+        return merged
+
+    @classmethod
+    def _wrap(cls, ivs: List[Interval]) -> "IntervalSet":
+        out = cls.__new__(cls)
+        out._ivs = ivs
+        return out
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ivs))
+
+    @property
+    def total_length(self) -> int:
+        return sum(iv.length for iv in self._ivs)
+
+    def spans(self) -> List[Tuple[int, int]]:
+        """The intervals as plain (lo, hi) tuples."""
+        return [(iv.lo, iv.hi) for iv in self._ivs]
+
+    def contains(self, value: int) -> bool:
+        # Binary search over the sorted spans.
+        lo, hi = 0, len(self._ivs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            iv = self._ivs[mid]
+            if value < iv.lo:
+                hi = mid
+            elif value >= iv.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(list(self._ivs) + list(other._ivs))
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference self - other."""
+        result: List[Interval] = []
+        cut = list(other._ivs)
+        j = 0
+        for iv in self._ivs:
+            lo = iv.lo
+            while j < len(cut) and cut[j].hi <= lo:
+                j += 1
+            k = j
+            while k < len(cut) and cut[k].lo < iv.hi:
+                c = cut[k]
+                if c.lo > lo:
+                    result.append(Interval(lo, c.lo))
+                lo = max(lo, c.hi)
+                if c.hi >= iv.hi:
+                    break
+                k += 1
+            if lo < iv.hi:
+                result.append(Interval(lo, iv.hi))
+        return IntervalSet._wrap(result)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        result: List[Interval] = []
+        a, b = self._ivs, other._ivs
+        i = j = 0
+        while i < len(a) and j < len(b):
+            ix = a[i].intersection(b[j])
+            if ix is not None:
+                result.append(ix)
+            if a[i].hi <= b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet._wrap(result)
+
+    def max_run_length(self) -> int:
+        """Length of the longest single interval (0 when empty).
+
+        Hard-overlay classification needs the longest *contiguous* uncovered
+        boundary run, not the total.
+        """
+        return max((iv.length for iv in self._ivs), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntervalSet({self.spans()})"

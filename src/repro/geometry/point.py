@@ -1,0 +1,64 @@
+"""Integer 2-D points with Manhattan-metric helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An integer lattice point.
+
+    Ordering is lexicographic (x, then y), which gives deterministic
+    iteration orders throughout the library.
+    """
+
+    x: int
+    y: int
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def scaled(self, factor: int) -> "Point":
+        """Component-wise scaling by an integer factor."""
+        return Point(self.x * factor, self.y * factor)
+
+    def manhattan(self, other: "Point") -> int:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev(self, other: "Point") -> int:
+        """Chebyshev (L-infinity) distance to ``other``."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def euclidean_sq(self, other: "Point") -> int:
+        """Squared Euclidean distance (kept integral on purpose)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """A copy shifted by (dx, dy)."""
+        return Point(self.x + dx, self.y + dy)
+
+    def is_aligned_with(self, other: "Point") -> bool:
+        """True when the two points share a row or a column."""
+        return self.x == other.x or self.y == other.y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x}, {self.y})"
+
+
+#: The four Manhattan unit steps, in deterministic order E, W, N, S.
+MANHATTAN_STEPS = (Point(1, 0), Point(-1, 0), Point(0, 1), Point(0, -1))

@@ -1,0 +1,154 @@
+"""Rectilinear polygons and their fragmentation into rectangles.
+
+Theorem 3 of the paper extends the pairwise overlay-scenario analysis from
+rectangles to arbitrary rectilinear polygons by *fragmenting* every polygon
+into rectangles first: fragments of the same polygon never overlay each
+other, fragments of different polygons follow the rectangle scenario table.
+
+A :class:`RectilinearPolygon` is stored as a canonical set of disjoint
+rectangles produced by a y-slab sweep, so two polygons describing the same
+point set compare equal regardless of how they were assembled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .interval import Interval, IntervalSet
+from .point import Point
+from .rect import Rect
+
+
+def _slab_decompose(rects: Sequence[Rect]) -> List[Rect]:
+    """Decompose a union of rectangles into disjoint maximal y-slab rects.
+
+    Classic sweep: cut the plane at every distinct y coordinate, compute the
+    covered x-intervals inside each slab, then merge vertically adjacent
+    slabs with identical x-coverage. Output is canonical for a given point
+    set and runs in O(R^2) which is ample for mask-sized inputs.
+    """
+    if not rects:
+        return []
+    ys = sorted({r.ylo for r in rects} | {r.yhi for r in rects})
+    slabs: List[Tuple[int, int, IntervalSet]] = []
+    for ylo, yhi in zip(ys, ys[1:]):
+        cover = IntervalSet(
+            Interval(r.xlo, r.xhi) for r in rects if r.ylo <= ylo and r.yhi >= yhi
+        )
+        if cover:
+            slabs.append((ylo, yhi, cover))
+    # Merge vertically contiguous slabs with identical coverage.
+    merged: List[Tuple[int, int, IntervalSet]] = []
+    for slab in slabs:
+        if merged and merged[-1][1] == slab[0] and merged[-1][2] == slab[2]:
+            merged[-1] = (merged[-1][0], slab[1], slab[2])
+        else:
+            merged.append(slab)
+    out: List[Rect] = []
+    for ylo, yhi, cover in merged:
+        for iv in cover:
+            out.append(Rect(iv.lo, ylo, iv.hi, yhi))
+    out.sort()
+    return out
+
+
+def decompose_rectilinear(rects: Iterable[Rect]) -> List[Rect]:
+    """Fragment a (possibly overlapping) union of rectangles into disjoint ones."""
+    return _slab_decompose(list(rects))
+
+
+class RectilinearPolygon:
+    """A connected or disconnected rectilinear region, canonically fragmented.
+
+    The constructor accepts any covering set of rectangles; overlapping
+    inputs are fine. Equality and hashing use the canonical fragmentation.
+    """
+
+    __slots__ = ("_fragments", "_bbox")
+
+    def __init__(self, rects: Iterable[Rect]) -> None:
+        fragments = _slab_decompose(list(rects))
+        if not fragments:
+            raise GeometryError("rectilinear polygon must cover at least one cell")
+        self._fragments: Tuple[Rect, ...] = tuple(fragments)
+        self._bbox = fragments[0]
+        for r in fragments[1:]:
+            self._bbox = self._bbox.hull(r)
+
+    @property
+    def fragments(self) -> Tuple[Rect, ...]:
+        """The canonical disjoint rectangle fragmentation (Theorem 3)."""
+        return self._fragments
+
+    @property
+    def bbox(self) -> Rect:
+        return self._bbox
+
+    @property
+    def area(self) -> int:
+        return sum(r.area for r in self._fragments)
+
+    def contains_point(self, p: Point) -> bool:
+        return any(r.contains_point(p) for r in self._fragments)
+
+    def overlaps(self, other: "RectilinearPolygon") -> bool:
+        if not self._bbox.overlaps(other._bbox):
+            return False
+        return any(
+            a.overlaps(b) for a in self._fragments for b in other._fragments
+        )
+
+    def gap_to(self, other: "RectilinearPolygon") -> int:
+        """Minimum Chebyshev-style rectilinear gap between the two regions.
+
+        Returns the minimum over fragment pairs of ``max(gap_x, gap_y)``;
+        0 when the regions touch or overlap.
+        """
+        best = None
+        for a in self._fragments:
+            for b in other._fragments:
+                g = max(a.gap_x(b), a.gap_y(b))
+                best = g if best is None else min(best, g)
+        assert best is not None
+        return best
+
+    def translated(self, dx: int, dy: int) -> "RectilinearPolygon":
+        return RectilinearPolygon(r.translated(dx, dy) for r in self._fragments)
+
+    def is_connected(self) -> bool:
+        """True when the fragments form one edge-connected region."""
+        n = len(self._fragments)
+        if n <= 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            i = stack.pop()
+            for j in range(n):
+                if j not in seen and self._touch(self._fragments[i], self._fragments[j]):
+                    seen.add(j)
+                    stack.append(j)
+        return len(seen) == n
+
+    @staticmethod
+    def _touch(a: Rect, b: Rect) -> bool:
+        """Edge (not corner-only) adjacency between disjoint fragments."""
+        share_x = a.x_interval.overlaps(b.x_interval)
+        share_y = a.y_interval.overlaps(b.y_interval)
+        if share_x and (a.yhi == b.ylo or b.yhi == a.ylo):
+            return True
+        if share_y and (a.xhi == b.xlo or b.xhi == a.xlo):
+            return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectilinearPolygon):
+            return NotImplemented
+        return self._fragments == other._fragments
+
+    def __hash__(self) -> int:
+        return hash(self._fragments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectilinearPolygon({len(self._fragments)} fragments, bbox={self._bbox})"

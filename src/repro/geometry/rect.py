@@ -1,0 +1,205 @@
+"""Axis-aligned integer rectangles.
+
+:class:`Rect` is the workhorse shape of the library: wires, pins, blockages,
+mask patterns and polygon fragments are all rectangles. The half-open
+convention ``[xlo, xhi) x [ylo, yhi)`` makes tiling exact (no double-counted
+boundary pixels in the bitmap engine) and keeps areas integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..errors import GeometryError
+from .interval import Interval
+from .point import Point
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Half-open axis-aligned rectangle ``[xlo, xhi) x [ylo, yhi)``."""
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    def __post_init__(self) -> None:
+        if self.xlo >= self.xhi or self.ylo >= self.yhi:
+            raise GeometryError(
+                f"degenerate rect [{self.xlo},{self.xhi}) x [{self.ylo},{self.yhi})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_points(cls, a: Point, b: Point) -> "Rect":
+        """Bounding box of two points, inflated to at least 1x1."""
+        xlo, xhi = min(a.x, b.x), max(a.x, b.x) + 1
+        ylo, yhi = min(a.y, b.y), max(a.y, b.y) + 1
+        return cls(xlo, ylo, xhi, yhi)
+
+    @classmethod
+    def from_center(cls, center: Point, half_w: int, half_h: int) -> "Rect":
+        """Rectangle of size (2*half_w) x (2*half_h) centred on ``center``."""
+        return cls(center.x - half_w, center.y - half_h, center.x + half_w, center.y + half_h)
+
+    # ------------------------------------------------------------------ #
+    # Basic measures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def width(self) -> int:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> int:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def x_interval(self) -> Interval:
+        return Interval(self.xlo, self.xhi)
+
+    @property
+    def y_interval(self) -> Interval:
+        return Interval(self.ylo, self.yhi)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """Wider than tall (squares count as horizontal)."""
+        return self.width >= self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.xlo + self.xhi) / 2, (self.ylo + self.yhi) / 2)
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """The four corner lattice points (closed convention), CCW from SW."""
+        return (
+            Point(self.xlo, self.ylo),
+            Point(self.xhi, self.ylo),
+            Point(self.xhi, self.yhi),
+            Point(self.xlo, self.yhi),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+
+    def contains_point(self, p: Point) -> bool:
+        return self.xlo <= p.x < self.xhi and self.ylo <= p.y < self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and self.xhi >= other.xhi
+            and self.yhi >= other.yhi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the interiors intersect."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True when closures intersect but interiors do not (edge/corner abutment)."""
+        closed = (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+        return closed and not self.overlaps(other)
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+
+    def gap_x(self, other: "Rect") -> int:
+        """Horizontal gap between projections (0 when they overlap in x)."""
+        return self.x_interval.gap_to(other.x_interval)
+
+    def gap_y(self, other: "Rect") -> int:
+        """Vertical gap between projections (0 when they overlap in y)."""
+        return self.y_interval.gap_to(other.y_interval)
+
+    def euclidean_gap_sq(self, other: "Rect") -> int:
+        """Squared Euclidean boundary-to-boundary distance."""
+        gx, gy = self.gap_x(other), self.gap_y(other)
+        return gx * gx + gy * gy
+
+    def manhattan_gap(self, other: "Rect") -> int:
+        return self.gap_x(other) + self.gap_y(other)
+
+    # ------------------------------------------------------------------ #
+    # Constructive ops
+    # ------------------------------------------------------------------ #
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        xlo, xhi = max(self.xlo, other.xlo), min(self.xhi, other.xhi)
+        ylo, yhi = max(self.ylo, other.ylo), min(self.yhi, other.yhi)
+        if xlo < xhi and ylo < yhi:
+            return Rect(xlo, ylo, xhi, yhi)
+        return None
+
+    def hull(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def inflated(self, amount: int) -> "Rect":
+        """Dilate (erode when negative) every side by ``amount``."""
+        return Rect(
+            self.xlo - amount, self.ylo - amount, self.xhi + amount, self.yhi + amount
+        )
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    def scaled(self, factor: int) -> "Rect":
+        """Scale all coordinates by a positive integer factor."""
+        if factor <= 0:
+            raise GeometryError(f"scale factor must be positive, got {factor}")
+        return Rect(
+            self.xlo * factor, self.ylo * factor, self.xhi * factor, self.yhi * factor
+        )
+
+    def subtract(self, other: "Rect") -> Tuple["Rect", ...]:
+        """Set difference self - other as up to four disjoint rectangles."""
+        ix = self.intersection(other)
+        if ix is None:
+            return (self,)
+        pieces = []
+        if self.ylo < ix.ylo:  # bottom slab
+            pieces.append(Rect(self.xlo, self.ylo, self.xhi, ix.ylo))
+        if ix.yhi < self.yhi:  # top slab
+            pieces.append(Rect(self.xlo, ix.yhi, self.xhi, self.yhi))
+        if self.xlo < ix.xlo:  # left slab (middle band only)
+            pieces.append(Rect(self.xlo, ix.ylo, ix.xlo, ix.yhi))
+        if ix.xhi < self.xhi:  # right slab (middle band only)
+            pieces.append(Rect(ix.xhi, ix.ylo, self.xhi, ix.yhi))
+        return tuple(pieces)
+
+    def cells(self) -> Iterator[Point]:
+        """Iterate the unit lattice cells covered by the rectangle."""
+        for x in range(self.xlo, self.xhi):
+            for y in range(self.ylo, self.yhi):
+                yield Point(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect({self.xlo},{self.ylo},{self.xhi},{self.yhi})"

@@ -1,0 +1,99 @@
+"""Wire segments in track coordinates.
+
+A routed net is a set of :class:`Segment` objects (plus vias). A segment
+lives on one layer, runs horizontally or vertically along a track, and
+covers an inclusive range of grid points. Segments convert to rectangles
+for scenario detection and to nm shapes for decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import GeometryError
+from .point import Point
+from .rect import Rect
+
+
+@dataclass(frozen=True, order=True)
+class Segment:
+    """An axis-parallel run of grid points on one routing layer.
+
+    ``a`` and ``b`` are inclusive endpoints; a degenerate segment with
+    ``a == b`` represents a single grid point (e.g. an isolated pin stub).
+    """
+
+    layer: int
+    a: Point
+    b: Point
+
+    def __post_init__(self) -> None:
+        if self.a.x != self.b.x and self.a.y != self.b.y:
+            raise GeometryError(f"segment {self.a}->{self.b} is not axis-parallel")
+        # Canonicalise endpoint order for deterministic hashing/eq.
+        if self.b < self.a:
+            lo, hi = self.b, self.a
+            object.__setattr__(self, "a", lo)
+            object.__setattr__(self, "b", hi)
+
+    @property
+    def horizontal(self) -> bool:
+        """True for horizontal (constant-y) segments; points count as horizontal."""
+        return self.a.y == self.b.y
+
+    @property
+    def is_point(self) -> bool:
+        return self.a == self.b
+
+    @property
+    def length(self) -> int:
+        """Number of grid *steps* spanned (0 for a point)."""
+        return self.a.manhattan(self.b)
+
+    def points(self) -> Iterator[Point]:
+        """All grid points on the segment, in order."""
+        if self.horizontal:
+            for x in range(self.a.x, self.b.x + 1):
+                yield Point(x, self.a.y)
+        else:
+            for y in range(self.a.y, self.b.y + 1):
+                yield Point(self.a.x, y)
+
+    def to_rect(self) -> Rect:
+        """Grid-cell footprint as a half-open rectangle (1 track wide)."""
+        return Rect(self.a.x, self.a.y, self.b.x + 1, self.b.y + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Seg(L{self.layer} {self.a}->{self.b})"
+
+
+def points_to_segments(layer: int, pts: List[Point]) -> List[Segment]:
+    """Compress an ordered grid-point path into maximal straight segments.
+
+    The input is the backtraced A* path (adjacent points differ by one
+    Manhattan step). Consecutive collinear steps merge into one segment;
+    direction changes start a new one. A single point becomes one degenerate
+    segment.
+    """
+    if not pts:
+        return []
+    if len(pts) == 1:
+        return [Segment(layer, pts[0], pts[0])]
+    segments: List[Segment] = []
+    run_start = pts[0]
+    prev = pts[0]
+    direction = None
+    for cur in pts[1:]:
+        step = (cur.x - prev.x, cur.y - prev.y)
+        if abs(step[0]) + abs(step[1]) != 1:
+            raise GeometryError(f"path points {prev}->{cur} are not adjacent")
+        if direction is None:
+            direction = step
+        elif step != direction:
+            segments.append(Segment(layer, run_start, prev))
+            run_start = prev
+            direction = step
+        prev = cur
+    segments.append(Segment(layer, run_start, prev))
+    return segments

@@ -1,0 +1,20 @@
+"""Multi-layer grid routing plane.
+
+The paper routes on a grid whose pitch is one wire plus one spacer, with
+three routing layers in alternating preferred directions (H-V-H). This
+package provides the plane: layers, per-cell occupancy (free / blocked /
+owned-by-net), vias, and the nm geometry of a grid cell.
+"""
+
+from .layer import Direction, RoutingLayer, default_layer_stack
+from .routing_grid import CellState, RoutingGrid
+from .via import Via
+
+__all__ = [
+    "Direction",
+    "RoutingLayer",
+    "default_layer_stack",
+    "CellState",
+    "RoutingGrid",
+    "Via",
+]

@@ -1,0 +1,56 @@
+"""Routing layers and preferred directions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import GridError
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a layer."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+    @property
+    def orthogonal(self) -> "Direction":
+        if self is Direction.HORIZONTAL:
+            return Direction.VERTICAL
+        return Direction.HORIZONTAL
+
+
+@dataclass(frozen=True)
+class RoutingLayer:
+    """One metal layer of the routing stack.
+
+    SADP constrains each layer to its preferred direction: the core/spacer
+    flow of a layer is printed with lines along one orientation, so the
+    router never jogs within a layer (it changes layers instead). That is
+    also the model the paper's scenario analysis assumes.
+    """
+
+    index: int
+    name: str
+    direction: Direction
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise GridError(f"layer index must be >= 0, got {self.index}")
+
+
+def default_layer_stack(num_layers: int = 3) -> List[RoutingLayer]:
+    """The benchmark stack: M1 horizontal, M2 vertical, M3 horizontal, ...
+
+    Every benchmark in the paper uses three routing layers; the generator
+    here supports any count with alternating directions.
+    """
+    if num_layers <= 0:
+        raise GridError(f"need at least one layer, got {num_layers}")
+    layers = []
+    for i in range(num_layers):
+        direction = Direction.HORIZONTAL if i % 2 == 0 else Direction.VERTICAL
+        layers.append(RoutingLayer(index=i, name=f"M{i + 1}", direction=direction))
+    return layers

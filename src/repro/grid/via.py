@@ -1,0 +1,27 @@
+"""Vias between adjacent routing layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GridError
+from ..geometry import Point
+
+
+@dataclass(frozen=True, order=True)
+class Via:
+    """A via connecting layer ``lower`` to ``lower + 1`` at grid point ``at``."""
+
+    lower: int
+    at: Point
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise GridError(f"via lower layer must be >= 0, got {self.lower}")
+
+    @property
+    def upper(self) -> int:
+        return self.lower + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Via(L{self.lower}->L{self.upper} @ {self.at})"

@@ -1,0 +1,7 @@
+"""Netlist model: pins (fixed or multi-candidate), two-pin nets, and I/O."""
+
+from .net import Net, Pin
+from .netlist import Netlist
+from .io import read_design, read_netlist, write_netlist
+
+__all__ = ["Pin", "Net", "Netlist", "read_design", "read_netlist", "write_netlist"]

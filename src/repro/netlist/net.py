@@ -1,0 +1,104 @@
+"""Pins and two-pin nets.
+
+The paper's benchmarks are sets of two-pin nets on a grid. Two benchmark
+families exist (Section IV):
+
+* **fixed-pin** — each pin has exactly one legal location (the setting of
+  Gao-Pan [11] and the cut-process router [16]);
+* **multiple pin candidate locations** — each pin offers several candidate
+  grid points and the router picks one (the setting of Du et al. [10]).
+
+:class:`Pin` covers both: it is a non-empty tuple of candidate locations,
+singleton in the fixed case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import NetlistError
+from ..geometry import Point
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A pin with one or more candidate grid locations on a layer."""
+
+    candidates: Tuple[Point, ...]
+    layer: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise NetlistError("pin must have at least one candidate location")
+        if len(set(self.candidates)) != len(self.candidates):
+            raise NetlistError(f"duplicate pin candidates: {self.candidates}")
+        if self.layer < 0:
+            raise NetlistError(f"pin layer must be >= 0, got {self.layer}")
+
+    @classmethod
+    def at(cls, x: int, y: int, layer: int = 0) -> "Pin":
+        """A fixed pin at a single grid point."""
+        return cls(candidates=(Point(x, y),), layer=layer)
+
+    @classmethod
+    def multi(cls, points: Tuple[Point, ...], layer: int = 0) -> "Pin":
+        """A pin with multiple candidate locations."""
+        return cls(candidates=tuple(points), layer=layer)
+
+    @property
+    def is_fixed(self) -> bool:
+        return len(self.candidates) == 1
+
+    @property
+    def primary(self) -> Point:
+        """The first (preferred) candidate."""
+        return self.candidates[0]
+
+
+@dataclass(frozen=True)
+class Net:
+    """A net to be routed and colored.
+
+    The paper's benchmarks use two-pin nets (``source`` -> ``target``);
+    additional terminals may be supplied via ``taps`` — the router
+    connects the source-target trunk first and then each tap to the
+    growing tree (a sequential Steiner extension beyond the paper).
+    """
+
+    net_id: int
+    name: str
+    source: Pin
+    target: Pin
+    taps: Tuple[Pin, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.net_id < 0:
+            raise NetlistError(f"net id must be >= 0, got {self.net_id}")
+        if not self.name:
+            raise NetlistError("net must have a non-empty name")
+
+    @property
+    def half_perimeter(self) -> int:
+        """HPWL lower bound over the primary pin candidates.
+
+        Used for net ordering (short nets first) and as the admissible A*
+        heuristic's baseline.
+        """
+        points = [self.source.primary, self.target.primary]
+        points.extend(pin.primary for pin in self.taps)
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    @property
+    def is_multi_candidate(self) -> bool:
+        pins = (self.source, self.target) + self.taps
+        return not all(pin.is_fixed for pin in pins)
+
+    @property
+    def pin_count(self) -> int:
+        return 2 + len(self.taps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Net({self.net_id}:{self.name})"

@@ -1,0 +1,25 @@
+"""Overlay-aware detailed router (Section III-E).
+
+:class:`SadpRouter` is the library's main entry point: it sequentially
+routes a netlist with A* (cost Eq. 5), maintains one overlay constraint
+graph per layer, pseudo-colors each net, flips colors when overlay grows,
+rips up nets that close hard odd cycles or unavoidable cut conflicts, and
+returns a fully colored, conflict-free routing result.
+"""
+
+from .cost import CostParams
+from .astar import AStarRouter, SearchRequest
+from .result import NetRoute, RoutingResult
+from .sadp_router import SadpRouter
+from .io import load_result, save_result
+
+__all__ = [
+    "CostParams",
+    "AStarRouter",
+    "SearchRequest",
+    "NetRoute",
+    "RoutingResult",
+    "SadpRouter",
+    "save_result",
+    "load_result",
+]

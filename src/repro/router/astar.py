@@ -1,0 +1,387 @@
+"""Overlay-aware A* search on the multi-layer grid.
+
+The search space is (layer, x, y). Within a layer, moves follow the
+layer's preferred direction only (SADP lines are unidirectional); direction
+changes go through vias. Sources and targets may have several candidate
+locations (the multi-pin-candidate benchmarks), so the search is
+multi-source / multi-target.
+
+The per-cell cost implements Eq. (5): wirelength, via count, the type 2-b
+penalty, plus transient rip-up penalties injected by the outer loop.
+
+Performance note: this loop dominates the router's runtime, so the hot
+path reads the occupancy numpy array directly and inlines the overlay
+probe (gamma for a 2-b tip gap, delta_tip for a direct abutment). Generic
+per-cell callbacks remain available for experimentation but cost extra
+Python calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RoutingError
+from ..geometry import Point, Segment, points_to_segments
+from ..grid import CellState, Direction, RoutingGrid, Via
+from .cost import CostParams
+
+#: A search-space node: (layer, x, y).
+Node = Tuple[int, int, int]
+
+_FREE = int(CellState.FREE)
+
+
+@dataclass
+class SearchRequest:
+    """One routing query: where a net may start and where it must end."""
+
+    net_id: int
+    sources: Sequence[Tuple[int, Point]]  # (layer, point) candidates
+    targets: Sequence[Tuple[int, Point]]
+    max_expansions: int = 400_000
+
+    def __post_init__(self) -> None:
+        if not self.sources or not self.targets:
+            raise RoutingError("search needs at least one source and one target")
+
+
+@dataclass
+class SearchResult:
+    """A found path, lowered to segments and vias."""
+
+    nodes: List[Node]
+    segments: List[Segment]
+    vias: List[Via]
+    cost: float
+    expansions: int
+
+    @property
+    def wirelength(self) -> int:
+        return sum(seg.length for seg in self.segments)
+
+    @property
+    def via_count(self) -> int:
+        return len(self.vias)
+
+
+class AStarRouter:
+    """The inner search engine; stateless apart from grid references.
+
+    Cost hooks, in order of preference:
+
+    * ``penalty_map`` — a ``{(layer, x, y): cost}`` dict read directly
+      (the rip-up penalties; cheap);
+    * ``overlay_terms=(gamma, delta_tip)`` — enables the inlined Eq. (5)
+      overlay probe against ``active_net`` (set per routed net);
+    * ``overlay_cost`` / ``penalty`` — optional generic per-cell
+      callbacks (slower; used by tests and experiments).
+    """
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        params: CostParams,
+        overlay_cost: Optional[Callable[[int, Point], float]] = None,
+        penalty: Optional[Callable[[int, Point], float]] = None,
+        penalty_map: Optional[Dict[Tuple[int, int, int], float]] = None,
+        overlay_terms: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        self.grid = grid
+        self.params = params
+        self._overlay_cb = overlay_cost
+        self._penalty_cb = penalty
+        self._penalty_map = penalty_map
+        self._overlay_terms = overlay_terms
+        #: Net whose own cells are exempt from the inlined overlay probe.
+        self.active_net = -1
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def search(
+        self, request: SearchRequest, extra_margin: int = 0
+    ) -> Optional[SearchResult]:
+        """Run A*; None when no path exists within the window/budget."""
+        grid = self.grid
+        params = self.params
+        net_id = request.net_id
+        occ = grid._occ  # hot path: direct array access
+        num_layers, width, height = occ.shape
+
+        xlo, xhi, ylo, yhi = self._window(request, extra_margin)
+        targets = set()
+        target_pts: List[Point] = []
+        for layer, pt in request.targets:
+            if grid.in_bounds(layer, pt) and occ[layer, pt.x, pt.y] in (_FREE, net_id):
+                targets.add((layer, pt.x, pt.y))
+                target_pts.append(pt)
+        if not targets:
+            return None
+
+        txlo = min(p.x for p in target_pts)
+        txhi = max(p.x for p in target_pts)
+        tylo = min(p.y for p in target_pts)
+        tyhi = max(p.y for p in target_pts)
+        alpha = params.alpha
+        beta = params.beta
+        wrong_way = alpha * params.wrong_way_factor if params.wrong_way_factor else 0.0
+        use_inline = self._overlay_terms is not None
+        pen_map = self._penalty_map
+        overlay_cb = self._overlay_cb
+        penalty_cb = self._penalty_cb
+        horizontal = [
+            grid.layer_direction(l) is Direction.HORIZONTAL
+            for l in range(num_layers)
+        ]
+
+        # Precompute the Eq. (5) overlay term over the window: occupancy
+        # is frozen during one net's search, so the 2-b / tip-abutment
+        # probes vectorise into a few numpy shifts.
+        cost_grid = None
+        if use_inline:
+            cost_grid = self._overlay_cost_grid(
+                occ, horizontal, (xlo, xhi, ylo, yhi), self.active_net
+            )
+
+        have_pen = pen_map is not None
+        have_cbs = overlay_cb is not None or penalty_cb is not None
+
+        def cell_cost(layer: int, x: int, y: int) -> float:
+            cost = 0.0
+            if have_pen and pen_map:
+                cost += pen_map.get((layer, x, y), 0.0)
+            if cost_grid is not None:
+                cost += cost_grid[layer, x - xlo, y - ylo]
+            if have_cbs:
+                if overlay_cb is not None:
+                    cost += overlay_cb(layer, Point(x, y))
+                if penalty_cb is not None:
+                    cost += penalty_cb(layer, Point(x, y))
+            return cost
+
+        # Admissible via lower bound for the heuristic: moving across a
+        # layer's preferred direction requires reaching a layer of the
+        # other orientation (and possibly coming back for the target).
+        all_targets_horizontal = all(horizontal[l] for l, _, _ in targets)
+        all_targets_vertical = all(not horizontal[l] for l, _, _ in targets)
+
+        def via_bound(layer: int, dx: int, dy: int) -> float:
+            if wrong_way:
+                # Wrong-way jogs cross directions without vias; the via
+                # lower bound would overestimate and break admissibility.
+                return 0.0
+            extra = 0
+            if dy > 0:
+                if horizontal[layer]:
+                    extra += 1
+                if all_targets_horizontal:
+                    extra += 1 if horizontal[layer] else 0
+            if dx > 0:
+                if not horizontal[layer]:
+                    extra += 1
+                if all_targets_vertical:
+                    extra += 1 if not horizontal[layer] else 0
+            return beta * extra
+
+        counter = itertools.count()
+        best_g: Dict[Node, float] = {}
+        parent: Dict[Node, Optional[Node]] = {}
+        open_heap: List[Tuple[float, float, int, int, int, int]] = []
+
+        for layer, pt in request.sources:
+            if not grid.in_bounds(layer, pt):
+                continue
+            if occ[layer, pt.x, pt.y] not in (_FREE, net_id):
+                continue
+            node = (layer, pt.x, pt.y)
+            g = cell_cost(layer, pt.x, pt.y)
+            if node not in best_g or g < best_g[node]:
+                best_g[node] = g
+                parent[node] = None
+                dx = txlo - pt.x if pt.x < txlo else (pt.x - txhi if pt.x > txhi else 0)
+                dy = tylo - pt.y if pt.y < tylo else (pt.y - tyhi if pt.y > tyhi else 0)
+                heapq.heappush(
+                    open_heap,
+                    (
+                        g + alpha * (dx + dy) + via_bound(layer, dx, dy),
+                        g,
+                        next(counter),
+                        layer,
+                        pt.x,
+                        pt.y,
+                    ),
+                )
+        if not open_heap:
+            return None
+
+        expansions = 0
+        goal: Optional[Node] = None
+        push = heapq.heappush
+        pop = heapq.heappop
+        inf = float("inf")
+        while open_heap:
+            f, g, _, layer, x, y = pop(open_heap)
+            node = (layer, x, y)
+            if g > best_g.get(node, inf):
+                continue
+            if node in targets:
+                goal = node
+                break
+            expansions += 1
+            if expansions > request.max_expansions:
+                return None
+
+            # In-layer steps: the preferred direction at cost alpha, and —
+            # when enabled — wrong-way jogs at alpha * wrong_way_factor.
+            if horizontal[layer]:
+                steps = ((x - 1, y, alpha), (x + 1, y, alpha))
+                if wrong_way:
+                    steps += ((x, y - 1, wrong_way), (x, y + 1, wrong_way))
+            else:
+                steps = ((x, y - 1, alpha), (x, y + 1, alpha))
+                if wrong_way:
+                    steps += ((x - 1, y, wrong_way), (x + 1, y, wrong_way))
+            for nx, ny, step_cost in steps:
+                if not (xlo <= nx <= xhi and ylo <= ny <= yhi):
+                    continue
+                owner = occ[layer, nx, ny]
+                if owner != _FREE and owner != net_id:
+                    continue
+                ng = g + step_cost + cell_cost(layer, nx, ny)
+                nxt = (layer, nx, ny)
+                if ng < best_g.get(nxt, inf):
+                    best_g[nxt] = ng
+                    parent[nxt] = node
+                    dx = txlo - nx if nx < txlo else (nx - txhi if nx > txhi else 0)
+                    dy = tylo - ny if ny < tylo else (ny - tyhi if ny > tyhi else 0)
+                    push(
+                        open_heap,
+                        (
+                            ng + alpha * (dx + dy) + via_bound(layer, dx, dy),
+                            ng,
+                            next(counter),
+                            layer,
+                            nx,
+                            ny,
+                        ),
+                    )
+
+            # Via moves.
+            for nl in (layer - 1, layer + 1):
+                if not 0 <= nl < num_layers:
+                    continue
+                owner = occ[nl, x, y]
+                if owner != _FREE and owner != net_id:
+                    continue
+                ng = g + beta + cell_cost(nl, x, y)
+                nxt = (nl, x, y)
+                if ng < best_g.get(nxt, inf):
+                    best_g[nxt] = ng
+                    parent[nxt] = node
+                    dx = txlo - x if x < txlo else (x - txhi if x > txhi else 0)
+                    dy = tylo - y if y < tylo else (y - tyhi if y > tyhi else 0)
+                    push(
+                        open_heap,
+                        (
+                            ng + alpha * (dx + dy) + via_bound(nl, dx, dy),
+                            ng,
+                            next(counter),
+                            nl,
+                            x,
+                            y,
+                        ),
+                    )
+
+        if goal is None:
+            return None
+        nodes = self._backtrace(parent, goal)
+        segments, vias = self._lower(nodes)
+        return SearchResult(
+            nodes=nodes,
+            segments=segments,
+            vias=vias,
+            cost=best_g[goal],
+            expansions=expansions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _overlay_cost_grid(self, occ, horizontal, bounds, own: int):
+        """Vectorised Eq. (5) overlay term over the search window.
+
+        For every cell of the window, along the layer's preferred
+        direction: ``delta_tip`` per directly abutting foreign cell and
+        ``gamma`` per foreign cell at distance two behind a free cell
+        (the type 2-b tip gap). Returns ``cost[layer, x - xlo, y - ylo]``.
+        """
+        import numpy as np
+
+        gamma, delta_tip = self._overlay_terms
+        xlo, xhi, ylo, yhi = bounds
+        num_layers = occ.shape[0]
+        wx, wy = xhi - xlo + 1, yhi - ylo + 1
+        cost = np.zeros((num_layers, wx, wy), dtype=np.float64)
+        pad = 2
+        sentinel = -9  # neither FREE nor a net id
+        for layer in range(num_layers):
+            view = np.full((wx + 2 * pad, wy + 2 * pad), sentinel, dtype=occ.dtype)
+            src_xlo, src_xhi = max(xlo - pad, 0), min(xhi + pad + 1, occ.shape[1])
+            src_ylo, src_yhi = max(ylo - pad, 0), min(yhi + pad + 1, occ.shape[2])
+            view[
+                src_xlo - (xlo - pad) : src_xhi - (xlo - pad),
+                src_ylo - (ylo - pad) : src_yhi - (ylo - pad),
+            ] = occ[layer, src_xlo:src_xhi, src_ylo:src_yhi]
+            axis = 0 if horizontal[layer] else 1
+            for sign in (1, -1):
+                mid = np.roll(view, -sign, axis=axis)[pad:-pad, pad:-pad]
+                far = np.roll(view, -2 * sign, axis=axis)[pad:-pad, pad:-pad]
+                foreign_mid = (mid >= 0) & (mid != own)
+                tip_gap = (mid == _FREE) & (far >= 0) & (far != own)
+                cost[layer] += delta_tip * foreign_mid + gamma * tip_gap
+        return cost
+
+    def _window(
+        self, request: SearchRequest, extra_margin: int
+    ) -> Tuple[int, int, int, int]:
+        pts = [pt for _, pt in request.sources] + [pt for _, pt in request.targets]
+        margin = self.params.search_margin + extra_margin
+        xlo = max(0, min(p.x for p in pts) - margin)
+        xhi = min(self.grid.width - 1, max(p.x for p in pts) + margin)
+        ylo = max(0, min(p.y for p in pts) - margin)
+        yhi = min(self.grid.height - 1, max(p.y for p in pts) + margin)
+        return xlo, xhi, ylo, yhi
+
+    @staticmethod
+    def _backtrace(parent: Dict[Node, Optional[Node]], goal: Node) -> List[Node]:
+        nodes = [goal]
+        while parent[nodes[-1]] is not None:
+            nodes.append(parent[nodes[-1]])  # type: ignore[arg-type]
+        nodes.reverse()
+        return nodes
+
+    @staticmethod
+    def _lower(nodes: List[Node]) -> Tuple[List[Segment], List[Via]]:
+        """Convert a node path into per-layer segments plus vias."""
+        segments: List[Segment] = []
+        vias: List[Via] = []
+        run: List[Point] = []
+        run_layer = nodes[0][0]
+        for layer, x, y in nodes:
+            pt = Point(x, y)
+            if layer != run_layer:
+                if run:
+                    segments.extend(points_to_segments(run_layer, run))
+                vias.append(Via(lower=min(layer, run_layer), at=pt))
+                run = [pt]
+                run_layer = layer
+            else:
+                run.append(pt)
+        if run:
+            segments.extend(points_to_segments(run_layer, run))
+        return segments, vias

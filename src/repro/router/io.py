@@ -1,0 +1,104 @@
+"""Routing result persistence (JSON).
+
+Saves everything a downstream tool needs from a routing run — per-net
+segments and vias, per-layer mask colors, and the aggregate metrics — in
+a stable, human-inspectable JSON schema, and loads it back into a
+:class:`~repro.router.RoutingResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..color import Color
+from ..errors import RoutingError
+from ..geometry import Point, Segment
+from ..grid import Via
+from .result import NetRoute, RoutingResult
+
+#: Schema version written into every file; bumped on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RoutingResult) -> Dict:
+    """Lower a result to plain JSON-serialisable data."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "metrics": {
+            "overlay_units": result.overlay_units,
+            "overlay_nm": result.overlay_nm,
+            "hard_overlays": result.hard_overlays,
+            "cut_conflicts": result.cut_conflicts,
+            "total_ripups": result.total_ripups,
+            "color_flips": result.color_flips,
+            "cpu_seconds": result.cpu_seconds,
+        },
+        "colorings": {
+            str(layer): {str(net): color.value for net, color in coloring.items()}
+            for layer, coloring in result.colorings.items()
+        },
+        "routes": {
+            str(net_id): {
+                "success": route.success,
+                "ripups": route.ripups,
+                "segments": [
+                    [seg.layer, seg.a.x, seg.a.y, seg.b.x, seg.b.y]
+                    for seg in route.segments
+                ],
+                "vias": [[via.lower, via.at.x, via.at.y] for via in route.vias],
+            }
+            for net_id, route in sorted(result.routes.items())
+        },
+    }
+
+
+def result_from_dict(data: Dict) -> RoutingResult:
+    """Rebuild a :class:`RoutingResult` from :func:`result_to_dict` data."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise RoutingError(
+            f"unsupported routing-result schema {data.get('schema')!r}"
+        )
+    result = RoutingResult()
+    metrics = data.get("metrics", {})
+    result.overlay_units = float(metrics.get("overlay_units", 0.0))
+    result.overlay_nm = float(metrics.get("overlay_nm", 0.0))
+    result.hard_overlays = int(metrics.get("hard_overlays", 0))
+    result.cut_conflicts = int(metrics.get("cut_conflicts", 0))
+    result.total_ripups = int(metrics.get("total_ripups", 0))
+    result.color_flips = int(metrics.get("color_flips", 0))
+    result.cpu_seconds = float(metrics.get("cpu_seconds", 0.0))
+
+    for layer_text, coloring in data.get("colorings", {}).items():
+        result.colorings[int(layer_text)] = {
+            int(net): Color(value) for net, value in coloring.items()
+        }
+    for net_text, payload in data.get("routes", {}).items():
+        net_id = int(net_text)
+        route = NetRoute(
+            net_id=net_id,
+            success=bool(payload.get("success", False)),
+            ripups=int(payload.get("ripups", 0)),
+            segments=[
+                Segment(layer, Point(ax, ay), Point(bx, by))
+                for layer, ax, ay, bx, by in payload.get("segments", [])
+            ],
+            vias=[
+                Via(lower, Point(x, y)) for lower, x, y in payload.get("vias", [])
+            ],
+        )
+        result.routes[net_id] = route
+    return result
+
+
+def save_result(result: RoutingResult, path: Union[str, Path]) -> Path:
+    """Write a routing result as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=1, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> RoutingResult:
+    """Read a routing result saved by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

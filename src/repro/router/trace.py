@@ -1,0 +1,140 @@
+"""Structured routing-event trace.
+
+Attach a :class:`RouterTrace` to a :class:`~repro.router.SadpRouter` to
+record what the flow actually did — searches, commits, rip-ups and their
+reasons, color flips, evictions, repair rounds. The trace is the debugging
+view of Fig. 19: ``to_text()`` prints the run as a readable transcript,
+and the event list is plain data for programmatic analysis.
+
+Implementation note: the trace wraps the router's methods rather than
+being threaded through every call site, so the routing code stays free of
+logging noise and tracing costs nothing when unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .sadp_router import SadpRouter
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a kind tag plus free-form details."""
+
+    kind: str
+    net_id: Optional[int]
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        net = f" net={self.net_id}" if self.net_id is not None else ""
+        return f"<{self.kind}{net} {parts}>"
+
+
+class RouterTrace:
+    """Records the routing flow of one :class:`SadpRouter` run."""
+
+    def __init__(self, router: SadpRouter) -> None:
+        self.router = router
+        self.events: List[TraceEvent] = []
+        self._install(router)
+
+    # ------------------------------------------------------------------ #
+    # Wrapping
+    # ------------------------------------------------------------------ #
+
+    def _install(self, router: SadpRouter) -> None:
+        original_route = router.route_net
+        original_undo = router._undo
+        original_rip = router.rip_up_net
+        original_post = router._post_route
+        original_evict = router._route_with_eviction
+
+        def route_net(net, preserve_penalties=False, allow_chain=True):
+            self._log("route_start", net.net_id, pins=net.pin_count)
+            route = original_route(
+                net, preserve_penalties=preserve_penalties, allow_chain=allow_chain
+            )
+            self._log(
+                "route_end",
+                net.net_id,
+                success=route.success,
+                wirelength=route.wirelength,
+                vias=route.via_count,
+                ripups=route.ripups,
+            )
+            return route
+
+        def undo(net_id, found, offending_cells=None, suppress_path_penalty=False):
+            reason = (
+                "cut_conflict"
+                if suppress_path_penalty
+                else ("hard_odd_cycle" if offending_cells else "path_penalised")
+            )
+            self._log("rip_up", net_id, reason=reason)
+            return original_undo(
+                net_id,
+                found,
+                offending_cells=offending_cells,
+                suppress_path_penalty=suppress_path_penalty,
+            )
+
+        def rip_up_net(net_id):
+            self._log("remove_committed", net_id)
+            return original_rip(net_id)
+
+        def post_route(net_id):
+            flips_before = router._flip_count
+            result = original_post(net_id)
+            if router._flip_count > flips_before:
+                self._log("color_flip", net_id)
+            return result
+
+        def route_with_eviction(net, route):
+            self._log("eviction", net.net_id, blockers=sorted(router._blockers))
+            return original_evict(net, route)
+
+        router.route_net = route_net
+        router._undo = undo
+        router.rip_up_net = rip_up_net
+        router._post_route = post_route
+        router._route_with_eviction = route_with_eviction
+
+    def _log(self, kind: str, net_id: Optional[int], **details: Any) -> None:
+        self.events.append(TraceEvent(kind=kind, net_id=net_id, details=details))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def of_net(self, net_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.net_id == net_id]
+
+    def ripup_reasons(self) -> Dict[str, int]:
+        reasons: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "rip_up":
+                reason = event.details.get("reason", "?")
+                reasons[reason] = reasons.get(reason, 0) + 1
+        return reasons
+
+    def to_text(self, limit: Optional[int] = None) -> str:
+        lines = ["Routing trace", "=" * 40]
+        events = self.events if limit is None else self.events[:limit]
+        for event in events:
+            lines.append(repr(event))
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        lines.append("-" * 40)
+        lines.append(
+            f"totals: {self.count('route_start')} routes, "
+            f"{self.count('rip_up')} rip-ups {self.ripup_reasons()}, "
+            f"{self.count('color_flip')} flips, "
+            f"{self.count('eviction')} evictions"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""The SADP cut-process design-rule set (Section II-B of the paper).
+
+Seven rules govern the process::
+
+    w_line     minimum metal line width
+    w_spacer   spacer width == minimum line-to-line spacing (grid design)
+    w_cut      minimum cut-pattern width
+    w_core     minimum core-pattern width
+    d_cut      minimum cut-to-cut distance
+    d_core     minimum core-to-core distance
+    d_overlap  length a cut pattern overlaps a spacer
+
+and must satisfy the paper's Eqs. (1)-(3)::
+
+    (1)  w_line == w_spacer
+    (2)  w_cut == w_core  <  d_cut == d_core
+    (3)  d_core < w_line + 2*w_spacer - 2*d_overlap
+
+Violating rule sets raise :class:`~repro.errors.DesignRuleError` at
+construction. The default instance is the paper's 10 nm-node setting:
+``w_line = w_spacer = w_cut = w_core = 20 nm`` and
+``d_cut = d_core = 30 nm``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import DesignRuleError
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Immutable, validated SADP cut-process rule set (all values in nm)."""
+
+    w_line: int = 20
+    w_spacer: int = 20
+    w_cut: int = 20
+    w_core: int = 20
+    d_cut: int = 30
+    d_core: int = 30
+    d_overlap: int = 5
+
+    def __post_init__(self) -> None:
+        values = {
+            "w_line": self.w_line,
+            "w_spacer": self.w_spacer,
+            "w_cut": self.w_cut,
+            "w_core": self.w_core,
+            "d_cut": self.d_cut,
+            "d_core": self.d_core,
+        }
+        for name, value in values.items():
+            if value <= 0:
+                raise DesignRuleError(f"{name} must be positive, got {value}")
+        if self.d_overlap < 0:
+            raise DesignRuleError(f"d_overlap must be non-negative, got {self.d_overlap}")
+        # Eq. (1)
+        if self.w_line != self.w_spacer:
+            raise DesignRuleError(
+                f"Eq.(1) violated: w_line ({self.w_line}) != w_spacer ({self.w_spacer})"
+            )
+        # Eq. (2)
+        if self.w_cut != self.w_core:
+            raise DesignRuleError(
+                f"Eq.(2) violated: w_cut ({self.w_cut}) != w_core ({self.w_core})"
+            )
+        if self.d_cut != self.d_core:
+            raise DesignRuleError(
+                f"Eq.(2) violated: d_cut ({self.d_cut}) != d_core ({self.d_core})"
+            )
+        if not self.w_cut < self.d_cut:
+            raise DesignRuleError(
+                f"Eq.(2) violated: w_cut ({self.w_cut}) must be < d_cut ({self.d_cut})"
+            )
+        # Eq. (3)
+        bound = self.w_line + 2 * self.w_spacer - 2 * self.d_overlap
+        if not self.d_core < bound:
+            raise DesignRuleError(
+                f"Eq.(3) violated: d_core ({self.d_core}) must be < "
+                f"w_line + 2*w_spacer - 2*d_overlap ({bound})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pitch(self) -> int:
+        """Track pitch of the routing grid: one wire plus one spacer."""
+        return self.w_line + self.w_spacer
+
+    @property
+    def d_indep(self) -> float:
+        """Independence distance of Theorem 1.
+
+        Two patterns farther apart than ``sqrt(2) * (w_line + 2*w_spacer)``
+        never overlay each other regardless of color assignment.
+        """
+        return math.sqrt(2.0) * (self.w_line + 2 * self.w_spacer)
+
+    @property
+    def d_indep_tracks(self) -> int:
+        """Independence distance expressed as a track-difference bound.
+
+        From the Theorem 2 proof: aligned pairs (Xmin == 0 or Ymin == 0) are
+        independent once the nonzero track difference reaches 3; diagonal
+        pairs once both differences reach 2. This property returns 3, the
+        radius used for neighbour queries (a superset of the dependent set;
+        the relation classifier then filters exactly).
+        """
+        return 3
+
+    @property
+    def overlay_unit_nm(self) -> int:
+        """One 'unit' of side overlay (the paper counts units of w_line)."""
+        return self.w_line
+
+    def mergeable_core_gap(self, gap_nm: int) -> bool:
+        """True when two core patterns at ``gap_nm`` must be merged.
+
+        Core patterns closer than ``d_core`` cannot coexist separately; the
+        merge technique (Fig. 2) fuses them into one core pattern that is
+        later split by a cut.
+        """
+        return 0 <= gap_nm < self.d_core
+
+    def scaled(self, factor: int) -> "DesignRules":
+        """A rule set with every length multiplied by ``factor``.
+
+        Useful for rasterisation-resolution experiments; the Eq. (1)-(3)
+        relations are scale invariant so the result is always valid.
+        """
+        if factor <= 0:
+            raise DesignRuleError(f"scale factor must be positive, got {factor}")
+        return DesignRules(
+            w_line=self.w_line * factor,
+            w_spacer=self.w_spacer * factor,
+            w_cut=self.w_cut * factor,
+            w_core=self.w_core * factor,
+            d_cut=self.d_cut * factor,
+            d_core=self.d_core * factor,
+            d_overlap=self.d_overlap * factor,
+        )
+
+
+#: The paper's experimental rule set (10 nm node).
+PAPER_10NM_RULES = DesignRules()

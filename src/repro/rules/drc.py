@@ -1,0 +1,86 @@
+"""Geometric design-rule checks on rectangle layouts (nm coordinates).
+
+These are the polygon-level checks used by the decomposition verifier and
+the tests; the bitmap engine has its own pixel-level equivalents. Checks
+report :class:`DrcViolation` records rather than raising, because callers
+(the cut-conflict analysis in particular) must distinguish violations over
+target patterns (real conflicts) from violations over spacers (ignorable
+per Ma et al. [12]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..geometry import Rect
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One rule violation: which rule, where, and the offending value."""
+
+    rule: str
+    location: Rect
+    value: int
+    limit: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DRC<{self.rule} {self.value}<{self.limit} at {self.location}>"
+
+
+def check_min_width(shapes: Sequence[Rect], min_width: int, rule: str = "min_width") -> List[DrcViolation]:
+    """Flag rectangles whose short side is below ``min_width``."""
+    violations = []
+    for r in shapes:
+        short = min(r.width, r.height)
+        if short < min_width:
+            violations.append(DrcViolation(rule, r, short, min_width))
+    return violations
+
+
+def check_min_spacing(
+    shapes: Sequence[Rect],
+    min_spacing: int,
+    rule: str = "min_spacing",
+    restrict_to: Optional[Sequence[Rect]] = None,
+) -> List[DrcViolation]:
+    """Flag pairs of rectangles closer than ``min_spacing`` (Euclidean gap).
+
+    When ``restrict_to`` is given, a violation is only reported if its
+    violation region (hull of the gap) intersects one of those rectangles —
+    this implements the "cut conflicts only count over target patterns"
+    semantics of Section II-B.
+    """
+    violations = []
+    limit_sq = min_spacing * min_spacing
+    for i, a in enumerate(shapes):
+        for b in shapes[i + 1 :]:
+            if a.overlaps(b) or a.touches(b):
+                continue  # merged/abutting shapes are one pattern, not a spacing pair
+            gap_sq = a.euclidean_gap_sq(b)
+            if gap_sq >= limit_sq:
+                continue
+            region = _gap_region(a, b)
+            if restrict_to is not None and not any(
+                region.overlaps(t) for t in restrict_to
+            ):
+                continue
+            violations.append(
+                DrcViolation(rule, region, int(gap_sq ** 0.5), min_spacing)
+            )
+    return violations
+
+
+def _gap_region(a: Rect, b: Rect) -> Rect:
+    """The rectangle spanning the gap between two disjoint rectangles."""
+    xs = sorted([a.xlo, a.xhi, b.xlo, b.xhi])
+    ys = sorted([a.ylo, a.yhi, b.ylo, b.yhi])
+    xlo, xhi = xs[1], xs[2]
+    ylo, yhi = ys[1], ys[2]
+    # Degenerate (aligned) gaps get widened to 1 unit so Rect stays valid.
+    if xlo >= xhi:
+        xlo, xhi = xlo, xlo + 1
+    if ylo >= yhi:
+        ylo, yhi = ylo, ylo + 1
+    return Rect(min(xlo, xhi - 1), min(ylo, yhi - 1), xhi, yhi)

@@ -1,0 +1,97 @@
+"""Physical units and coordinate conversions.
+
+Two coordinate systems coexist in this library:
+
+* **Track coordinates** — integers. The detailed router works on a grid
+  whose pitch is ``w_line + w_spacer`` (one wire plus one spacer), the
+  natural pitch of an SADP metal layer. A wire of width ``w_line`` is
+  centred on its track.
+
+* **Nanometre coordinates** — integers (we never need sub-nm precision).
+  The bitmap decomposition engine, DRC, and overlay metrology work in nm.
+
+This module holds the conversion helpers plus the database-unit (DBU)
+convention used by the bitmap engine: bitmaps are rasterised at
+``DEFAULT_BITMAP_RESOLUTION_NM`` nm per pixel, which divides every design
+rule of the 10 nm-node rule set used in the paper (all rules are multiples
+of 5 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import GeometryError
+
+#: Default rasterisation grid of the bitmap decomposition engine (nm/pixel).
+#: 5 nm divides w_line = w_spacer = w_cut = w_core = 20 nm and
+#: d_cut = d_core = 30 nm exactly.
+DEFAULT_BITMAP_RESOLUTION_NM = 5
+
+#: One micron in nanometres.
+NM_PER_UM = 1000
+
+
+@dataclass(frozen=True)
+class TrackGrid:
+    """Mapping between integer track coordinates and nm coordinates.
+
+    Parameters
+    ----------
+    pitch_nm:
+        Centre-to-centre distance of adjacent tracks in nm
+        (``w_line + w_spacer``).
+    wire_width_nm:
+        Drawn width of a wire centred on a track (``w_line``).
+    origin_nm:
+        nm coordinate of the centre of track 0 (both axes).
+    """
+
+    pitch_nm: int
+    wire_width_nm: int
+    origin_nm: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pitch_nm <= 0:
+            raise GeometryError(f"track pitch must be positive, got {self.pitch_nm}")
+        if not 0 < self.wire_width_nm <= self.pitch_nm:
+            raise GeometryError(
+                f"wire width {self.wire_width_nm} must be in (0, pitch={self.pitch_nm}]"
+            )
+
+    def track_center_nm(self, track: int) -> int:
+        """nm coordinate of the centre line of ``track``."""
+        return self.origin_nm + track * self.pitch_nm
+
+    def wire_span_nm(self, track: int) -> tuple[int, int]:
+        """(low, high) nm extents of a wire centred on ``track``."""
+        center = self.track_center_nm(track)
+        half = self.wire_width_nm // 2
+        return center - half, center - half + self.wire_width_nm
+
+    def nearest_track(self, coord_nm: int) -> int:
+        """Track index whose centre is nearest to ``coord_nm`` (ties round down)."""
+        return round((coord_nm - self.origin_nm) / self.pitch_nm)
+
+    def span_tracks(self, lo_nm: int, hi_nm: int) -> range:
+        """Tracks whose wire spans intersect the half-open nm interval [lo, hi)."""
+        if hi_nm <= lo_nm:
+            return range(0)
+        first = self.nearest_track(lo_nm)
+        while self.wire_span_nm(first)[1] > lo_nm:
+            first -= 1
+        first += 1
+        last = first
+        while self.wire_span_nm(last)[0] < hi_nm:
+            last += 1
+        return range(first, last)
+
+
+def nm_to_um(nm: float) -> float:
+    """Convert nanometres to microns."""
+    return nm / NM_PER_UM
+
+
+def um_to_nm(um: float) -> int:
+    """Convert microns to (integer) nanometres."""
+    return round(um * NM_PER_UM)

@@ -1,0 +1,111 @@
+"""Unit tests for the trim-process accounting model."""
+
+import pytest
+
+from repro.color import Color
+from repro.core.scenario_detect import DetectedScenario, ShapeRecord
+from repro.core.scenarios import ScenarioType
+from repro.baselines import TrimAccounting
+from repro.geometry import Rect
+from repro.rules import DesignRules
+
+
+def record(net, x0, x1, y, layer=0):
+    return ShapeRecord(net_id=net, rect=Rect(x0, y, x1 + 1, y + 1), horizontal=True, layer=layer)
+
+
+def scenario(stype, a, b, ra, rb, layer=0):
+    return DetectedScenario(
+        layer=layer, net_a=a, net_b=b, scenario=stype,
+        a_is_tip_owner=True, overlap=1, rect_a=ra, rect_b=rb,
+    )
+
+
+@pytest.fixture
+def acc(rules):
+    return TrimAccounting(rules, num_layers=1)
+
+
+class TestConflicts:
+    def test_1a_same_color_conflicts(self, acc):
+        sc = scenario(ScenarioType.T1A, 0, 1, Rect(0, 0, 10, 1), Rect(0, 1, 10, 2))
+        assert acc.pair_conflicts(sc, Color.CORE, Color.CORE) == 1
+        assert acc.pair_conflicts(sc, Color.SECOND, Color.SECOND) == 1
+        assert acc.pair_conflicts(sc, Color.CORE, Color.SECOND) == 0
+
+    def test_1b_same_color_conflicts(self, acc):
+        sc = scenario(ScenarioType.T1B, 0, 1, Rect(0, 0, 5, 1), Rect(5, 0, 10, 1))
+        assert acc.pair_conflicts(sc, Color.CORE, Color.CORE) == 1
+        assert acc.pair_conflicts(sc, Color.SECOND, Color.SECOND) == 1
+
+    def test_3a_cc_only(self, acc):
+        sc = scenario(ScenarioType.T3A, 0, 1, Rect(0, 0, 5, 1), Rect(6, 1, 10, 2))
+        assert acc.pair_conflicts(sc, Color.CORE, Color.CORE) == 1
+        assert acc.pair_conflicts(sc, Color.SECOND, Color.SECOND) == 0
+
+    def test_visible_covers_aligned_rules_only(self, acc):
+        # The published trim routers see the aligned rules (1-a, 1-b)...
+        sc_1a = scenario(ScenarioType.T1A, 0, 1, Rect(0, 0, 10, 1), Rect(0, 1, 10, 2))
+        sc_1b = scenario(ScenarioType.T1B, 0, 1, Rect(0, 0, 5, 1), Rect(5, 0, 10, 1))
+        assert acc.visible_pair_conflicts(sc_1a, Color.CORE, Color.CORE) == 1
+        assert acc.visible_pair_conflicts(sc_1b, Color.CORE, Color.CORE) == 1
+        # ...but are blind to the diagonal scenarios.
+        sc_3a = scenario(ScenarioType.T3A, 0, 1, Rect(0, 0, 5, 1), Rect(6, 1, 10, 2))
+        assert acc.visible_pair_conflicts(sc_3a, Color.CORE, Color.CORE) == 0
+        assert acc.pair_conflicts(sc_3a, Color.CORE, Color.CORE) == 1
+
+
+class TestOverlay:
+    def test_core_fragment_free(self, acc):
+        rec = record(0, 0, 9, 5)
+        acc.add_net(0, [rec], [])
+        assert acc.fragment_overlay_nm(rec, {0: Color.CORE}) == 0
+
+    def test_lone_second_fully_exposed(self, acc, rules):
+        rec = record(0, 0, 9, 5)
+        acc.add_net(0, [rec], [])
+        # Both flanks exposed: 2 x 10 cells x pitch.
+        assert acc.fragment_overlay_nm(rec, {0: Color.SECOND}) == 2 * 10 * rules.pitch
+
+    def test_core_neighbour_protects_interval(self, acc, rules):
+        rec = record(0, 0, 9, 5)
+        core = record(1, 0, 4, 6)
+        sc = scenario(ScenarioType.T1A, 0, 1, rec.rect, core.rect)
+        acc.add_net(0, [rec], [sc])
+        acc.add_net(1, [core], [])
+        coloring = {0: Color.SECOND, 1: Color.CORE}
+        # North flank protected over x 0..4 (5 cells): 20 - 5 = 15 exposed.
+        assert acc.fragment_overlay_nm(rec, coloring) == 15 * rules.pitch
+
+    def test_second_neighbour_does_not_protect(self, acc, rules):
+        rec = record(0, 0, 9, 5)
+        other = record(1, 0, 9, 6)
+        sc = scenario(ScenarioType.T1A, 0, 1, rec.rect, other.rect)
+        acc.add_net(0, [rec], [sc])
+        acc.add_net(1, [other], [])
+        coloring = {0: Color.SECOND, 1: Color.SECOND}
+        assert acc.fragment_overlay_nm(rec, coloring) == 20 * rules.pitch
+
+
+class TestEvaluate:
+    def test_totals(self, acc, rules):
+        rec0 = record(0, 0, 9, 5)
+        rec1 = record(1, 0, 9, 6)
+        sc = scenario(ScenarioType.T1A, 1, 0, rec1.rect, rec0.rect)
+        acc.add_net(0, [rec0], [])
+        acc.add_net(1, [rec1], [sc])
+        colorings = [{0: Color.CORE, 1: Color.CORE}]
+        ev = acc.evaluate(colorings)
+        assert ev.conflicts == 1
+        assert ev.overlay_nm == 0  # both core
+
+    def test_remove_net(self, acc):
+        rec0 = record(0, 0, 9, 5)
+        rec1 = record(1, 0, 9, 6)
+        sc = scenario(ScenarioType.T1A, 1, 0, rec1.rect, rec0.rect)
+        acc.add_net(0, [rec0], [])
+        acc.add_net(1, [rec1], [sc])
+        acc.remove_net(1)
+        ev = acc.evaluate([{0: Color.CORE}])
+        assert ev.conflicts == 0
+        assert acc.scenarios_of(0) == []

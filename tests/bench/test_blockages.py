@@ -1,0 +1,66 @@
+"""Tests for macro blockage generation (obstacle-aware extension)."""
+
+import pytest
+
+from repro.bench import FIXED_PIN_BENCHMARKS, generate_benchmark
+from repro.errors import ReproError
+from repro.grid import CellState
+from repro.router import SadpRouter
+
+
+class TestBlockages:
+    def test_density_roughly_respected(self):
+        grid, _ = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[0], scale=0.2, blockage_density=0.1
+        )
+        total = grid.width * grid.height
+        blocked = grid.blocked_cells(0)
+        assert 0.05 * total <= blocked <= 0.2 * total
+
+    def test_blocked_on_every_layer(self):
+        grid, _ = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[0], scale=0.2, blockage_density=0.1
+        )
+        assert grid.blocked_cells(0) == grid.blocked_cells(1) == grid.blocked_cells(2)
+
+    def test_pins_avoid_blockages(self):
+        grid, nets = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[0], scale=0.2, blockage_density=0.15
+        )
+        for net in nets:
+            for pin in (net.source, net.target):
+                for p in pin.candidates:
+                    assert grid.owner(pin.layer, p) != CellState.BLOCKED
+
+    def test_routing_stays_conflict_free(self):
+        grid, nets = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[0], scale=0.18, blockage_density=0.12
+        )
+        result = SadpRouter(grid, nets).route_all()
+        assert result.cut_conflicts == 0
+        assert result.routability > 0.7
+
+    def test_zero_density_means_no_blockages(self):
+        grid, _ = generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=0.15)
+        assert grid.blocked_cells(0) == 0
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ReproError):
+            generate_benchmark(
+                FIXED_PIN_BENCHMARKS[0], scale=0.15, blockage_density=0.6
+            )
+        with pytest.raises(ReproError):
+            generate_benchmark(
+                FIXED_PIN_BENCHMARKS[0], scale=0.15, blockage_density=-0.1
+            )
+
+    def test_deterministic_with_blockages(self):
+        a_grid, a_nets = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[0], scale=0.15, blockage_density=0.1, seed=4
+        )
+        b_grid, b_nets = generate_benchmark(
+            FIXED_PIN_BENCHMARKS[0], scale=0.15, blockage_density=0.1, seed=4
+        )
+        assert a_grid.blocked_cells(0) == b_grid.blocked_cells(0)
+        for na, nb in zip(a_nets, b_nets):
+            assert na.source == nb.source

@@ -1,0 +1,62 @@
+"""Edge cases of the bench runner and comparison helpers."""
+
+import pytest
+
+from repro.bench.runner import BenchRow, _safe_mean, comparison_summary, rows_to_table
+
+
+class TestComparisonSummary:
+    def test_empty(self):
+        assert comparison_summary([], []) == "no data"
+
+    def test_zero_overlay_in_ours_skipped(self):
+        ours = [BenchRow("t", "ours", 10, 100.0, 0.0, 0.0, 0, 1.0)]
+        theirs = [BenchRow("t", "b", 10, 100.0, 500.0, 25.0, 1, 1.0)]
+        text = comparison_summary(ours, theirs)
+        assert "nan" in text  # no valid overlay ratio
+
+    def test_zero_cpu_skipped(self):
+        ours = [BenchRow("t", "ours", 10, 100.0, 10.0, 0.5, 0, 0.0)]
+        theirs = [BenchRow("t", "b", 10, 100.0, 20.0, 1.0, 0, 1.0)]
+        text = comparison_summary(ours, theirs)
+        assert "overlay 2.00x" in text
+
+    def test_safe_mean(self):
+        assert _safe_mean([1.0, 3.0]) == 2.0
+        import math
+
+        assert math.isnan(_safe_mean([]))
+
+
+class TestTableFormat:
+    def test_empty_rows_table(self):
+        table = rows_to_table([])
+        assert "Circuit" in table
+
+    def test_row_alignment(self):
+        rows = [BenchRow("Test1", "ours", 1500, 94.0, 193.0, 9.65, 0, 8.5)]
+        table = rows_to_table(rows)
+        line = table.splitlines()[-1]
+        assert line.startswith("Test1")
+        assert "1500" in line and "94.0" in line
+
+
+class TestBenchRowFromResult:
+    def test_from_result(self):
+        from repro.router.result import NetRoute, RoutingResult
+        from repro.geometry import Point, Segment
+
+        result = RoutingResult()
+        result.routes[0] = NetRoute(
+            net_id=0,
+            success=True,
+            segments=[Segment(0, Point(0, 0), Point(5, 0))],
+        )
+        result.overlay_nm = 40.0
+        result.overlay_units = 2.0
+        result.cut_conflicts = 0
+        result.cpu_seconds = 0.5
+        row = BenchRow.from_result("TestX", "ours", result)
+        assert row.num_nets == 1
+        assert row.routability_pct == 100.0
+        assert row.wirelength == 5

@@ -1,0 +1,85 @@
+"""Unit tests for the benchmark generator (Test1-Test10)."""
+
+import pytest
+
+from repro.bench import (
+    FIXED_PIN_BENCHMARKS,
+    MULTI_PIN_BENCHMARKS,
+    generate_benchmark,
+)
+from repro.bench.workloads import spec_by_name
+from repro.errors import ReproError
+
+
+class TestSpecs:
+    def test_ten_benchmarks(self):
+        assert len(FIXED_PIN_BENCHMARKS) == 5
+        assert len(MULTI_PIN_BENCHMARKS) == 5
+
+    def test_paper_parameters(self):
+        t1 = spec_by_name("Test1")
+        assert t1.num_nets == 1500
+        assert t1.die_um == 6.8
+        assert not t1.multi_candidate
+        t10 = spec_by_name("Test10")
+        assert t10.num_nets == 28000
+        assert t10.multi_candidate
+
+    def test_tracks_at_40nm_pitch(self):
+        assert spec_by_name("Test1").tracks == 170
+        assert spec_by_name("Test5").tracks == 900
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            spec_by_name("Test99")
+
+
+class TestGeneration:
+    def test_scaled_instance_sizes(self):
+        grid, nets = generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=0.2)
+        assert grid.width == 34
+        assert len(nets) == 60
+        assert grid.num_layers == 3
+
+    def test_full_scale_counts(self):
+        grid, nets = generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=1.0)
+        assert grid.width == 170
+        assert len(nets) == 1500
+
+    def test_deterministic(self):
+        _, a = generate_benchmark(FIXED_PIN_BENCHMARKS[1], scale=0.15, seed=5)
+        _, b = generate_benchmark(FIXED_PIN_BENCHMARKS[1], scale=0.15, seed=5)
+        for na, nb in zip(a, b):
+            assert na.source == nb.source
+            assert na.target == nb.target
+
+    def test_seeds_differ(self):
+        _, a = generate_benchmark(FIXED_PIN_BENCHMARKS[1], scale=0.15, seed=5)
+        _, b = generate_benchmark(FIXED_PIN_BENCHMARKS[1], scale=0.15, seed=6)
+        assert any(
+            na.source != nb.source or na.target != nb.target
+            for na, nb in zip(a, b)
+        )
+
+    def test_multi_candidate_pins(self):
+        _, nets = generate_benchmark(MULTI_PIN_BENCHMARKS[0], scale=0.15)
+        assert nets.multi_candidate_count() > 0
+
+    def test_fixed_pins_are_fixed(self):
+        _, nets = generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=0.15)
+        assert nets.multi_candidate_count() == 0
+
+    def test_pins_unique(self):
+        _, nets = generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=0.2)
+        seen = set()
+        for net in nets:
+            for pin in (net.source, net.target):
+                for p in pin.candidates:
+                    assert p not in seen
+                    seen.add(p)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ReproError):
+            generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=0.0)
+        with pytest.raises(ReproError):
+            generate_benchmark(FIXED_PIN_BENCHMARKS[0], scale=1.5)

@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.rules import DesignRules
+
+
+@pytest.fixture
+def rules() -> DesignRules:
+    """The paper's 10 nm-node rule set."""
+    return DesignRules()

@@ -1,0 +1,43 @@
+"""Unit tests for the between-band geometry of cut-conflict detection."""
+
+import pytest
+
+from repro.core.cut_conflict import _between_region
+from repro.geometry import Rect
+
+
+class TestBetweenRegion:
+    def test_vertical_facing(self):
+        a = Rect(0, 0, 100, 20)
+        b = Rect(20, 40, 80, 60)
+        band = _between_region(a, b)
+        assert band == Rect(20, 20, 80, 40)
+
+    def test_horizontal_facing(self):
+        a = Rect(0, 0, 20, 100)
+        b = Rect(50, 10, 70, 90)
+        band = _between_region(a, b)
+        assert band == Rect(20, 10, 50, 90)
+
+    def test_order_independent(self):
+        a = Rect(0, 0, 100, 20)
+        b = Rect(20, 40, 80, 60)
+        assert _between_region(a, b) == _between_region(b, a)
+
+    def test_diagonal_pairs_have_no_band(self):
+        a = Rect(0, 0, 20, 20)
+        b = Rect(40, 40, 60, 60)
+        assert _between_region(a, b) is None
+
+    def test_partial_projection_overlap(self):
+        a = Rect(0, 0, 50, 10)
+        b = Rect(30, 30, 90, 40)
+        band = _between_region(a, b)
+        assert band == Rect(30, 10, 50, 30)
+
+    def test_band_width_equals_gap(self):
+        a = Rect(0, 0, 100, 20)
+        b = Rect(0, 45, 100, 60)
+        band = _between_region(a, b)
+        assert band.height == 25
+        assert band.width == 100

@@ -1,0 +1,101 @@
+"""Tests for the super-vertex (even-cycle) reduction inside color flipping.
+
+The paper reduces even cycles of same-type hard edges into super vertices
+(Fig. 12); our implementation contracts every hard-connected group via the
+parity union-find. These tests exercise the contraction through the public
+flipping API.
+"""
+
+import pytest
+
+from repro.color import Color
+from repro.core import ConstraintEdge, OverlayConstraintGraph, ScenarioType
+from repro.core.color_flip import brute_force_coloring, flip_colors
+
+
+def edge(u, v, stype, **kw):
+    return ConstraintEdge.from_scenario(u, v, stype, **kw)
+
+
+def dp_total(graph, coloring):
+    return sum(
+        e.dp_cost(coloring.get(e.u, Color.CORE), coloring.get(e.v, Color.CORE))
+        for e in graph.edges
+    )
+
+
+class TestEvenCycles:
+    def test_even_diff_cycle_consistent(self):
+        """A 4-cycle of hard-different edges has exactly two colorings."""
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                edge(0, 1, ScenarioType.T1A),
+                edge(1, 2, ScenarioType.T1A),
+                edge(2, 3, ScenarioType.T1A),
+                edge(3, 0, ScenarioType.T1A),
+            ]
+        )
+        colors = flip_colors(g)
+        assert colors[0] == colors[2]
+        assert colors[1] == colors[3]
+        assert colors[0] != colors[1]
+
+    def test_even_same_cycle_merges_to_one_unit(self):
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                edge(0, 1, ScenarioType.T1B),
+                edge(1, 2, ScenarioType.T1B),
+                edge(2, 3, ScenarioType.T1B),
+                edge(3, 0, ScenarioType.T1B),
+            ]
+        )
+        colors = flip_colors(g)
+        assert len({colors[i] for i in range(4)}) == 1
+
+    def test_soft_edge_inside_hard_component_prices_both_polarities(self):
+        """A soft edge whose endpoints are hard-linked becomes a per-unit
+        self cost; the DP must choose the cheaper polarity."""
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                edge(0, 1, ScenarioType.T1A),  # hard-diff: unit of {0, 1}
+                # 3-c between the two: with 0=C,1=S the (C,S) combo is
+                # penalised; the mirrored polarity is free.
+                edge(0, 1, ScenarioType.T3C),
+            ]
+        )
+        colors = flip_colors(g)
+        assert dp_total(g, colors) == 0
+        assert colors[0] is Color.SECOND  # CS penalised -> pick SC
+
+    def test_mixed_hard_chain_with_soft_leaves(self):
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                edge(0, 1, ScenarioType.T1A),
+                edge(1, 2, ScenarioType.T1B),
+                edge(2, 3, ScenarioType.T1A),
+                edge(0, 3, ScenarioType.T1B),  # even overall: consistent
+                edge(3, 4, ScenarioType.T3A),
+                edge(4, 5, ScenarioType.T2A, overlap=3),
+            ]
+        )
+        colors = flip_colors(g)
+        _, best = brute_force_coloring(g, list(range(6)))
+        assert dp_total(g, colors) == best
+
+    def test_two_disjoint_hard_components_linked_by_soft(self):
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                edge(0, 1, ScenarioType.T1A),
+                edge(2, 3, ScenarioType.T1A),
+                edge(1, 2, ScenarioType.T2A, overlap=2),  # soft bridge
+            ]
+        )
+        colors = flip_colors(g)
+        assert colors[0] != colors[1]
+        assert colors[2] != colors[3]
+        assert colors[1] == colors[2]  # the soft-same bridge is honoured

@@ -1,0 +1,98 @@
+"""Unit tests for geometry-relationship classification (Theorems 1-2).
+
+Wire footprints are half-open cell rects in track coordinates; a wire on
+track y spanning grid points x0..x1 has rect (x0, y, x1+1, y+1).
+"""
+
+import pytest
+
+from repro.core import Direction2, classify_relation
+from repro.geometry import Rect
+
+
+def hwire(x0, x1, y):
+    """Horizontal wire footprint covering grid points x0..x1 on track y."""
+    return Rect(x0, y, x1 + 1, y + 1)
+
+
+def vwire(y0, y1, x):
+    return Rect(x, y0, x + 1, y1 + 1)
+
+
+class TestParallelRelations:
+    def test_adjacent_tracks_type_1a_tuple(self):
+        rel = classify_relation(hwire(0, 9, 0), True, hwire(0, 9, 1), True)
+        assert rel is not None
+        assert (rel.along, rel.across) == (0, 1)
+        assert rel.direction is Direction2.PARALLEL
+        assert rel.overlap == 10
+
+    def test_two_tracks_apart_type_2a(self):
+        rel = classify_relation(hwire(0, 9, 0), True, hwire(3, 6, 2), True)
+        assert (rel.along, rel.across) == (0, 2)
+        assert rel.overlap == 4  # projection overlap only
+
+    def test_tip_to_tip_type_1b(self):
+        # Track difference 1 = abutting grid points (physical gap w_spacer).
+        rel = classify_relation(hwire(0, 4, 0), True, hwire(5, 9, 0), True)
+        assert (rel.along, rel.across) == (1, 0)
+        assert rel.direction is Direction2.PARALLEL
+
+    def test_tip_to_tip_two_apart_type_2b(self):
+        rel = classify_relation(hwire(0, 4, 0), True, hwire(6, 9, 0), True)
+        assert (rel.along, rel.across) == (2, 0)
+
+    def test_vertical_pair_maps_to_same_canonical_tuple(self):
+        h = classify_relation(hwire(0, 9, 0), True, hwire(0, 9, 1), True)
+        v = classify_relation(vwire(0, 9, 0), False, vwire(0, 9, 1), False)
+        assert (h.along, h.across) == (v.along, v.across) == (0, 1)
+
+    def test_diagonal_1_1(self):
+        rel = classify_relation(hwire(0, 4, 0), True, hwire(5, 9, 1), True)
+        assert (rel.along, rel.across) == (1, 1)
+
+    def test_diagonal_1_2_vs_2_1_distinguished(self):
+        rel_a = classify_relation(hwire(0, 4, 0), True, hwire(5, 9, 2), True)
+        assert (rel_a.along, rel_a.across) == (1, 2)
+        rel_b = classify_relation(hwire(0, 4, 0), True, hwire(6, 9, 1), True)
+        assert (rel_b.along, rel_b.across) == (2, 1)
+
+
+class TestOrthogonalRelations:
+    def test_tip_to_side(self):
+        # Horizontal wire's tip one track from a vertical wire's flank.
+        rel = classify_relation(hwire(0, 4, 0), True, vwire(-3, 3, 5), False)
+        assert rel.direction is Direction2.ORTHOGONAL
+        assert (rel.along, rel.across) == (0, 1)
+
+    def test_sorted_tuple_identification(self):
+        # (x, y, orth) == (y, x, orth): both orders give the same tuple.
+        rel1 = classify_relation(hwire(0, 4, 0), True, vwire(2, 6, 5), False)
+        rel2 = classify_relation(vwire(2, 6, 5), False, hwire(0, 4, 0), True)
+        assert (rel1.along, rel1.across) == (rel2.along, rel2.across)
+
+    def test_tip_owner_flag(self):
+        # A's tip faces B's flank: A travels along itself (x) to reach B.
+        rel = classify_relation(hwire(0, 4, 0), True, vwire(-3, 3, 6), False)
+        assert rel.a_is_tip_owner
+        rel_rev = classify_relation(vwire(-3, 3, 6), False, hwire(0, 4, 0), True)
+        assert not rel_rev.a_is_tip_owner
+
+
+class TestIndependence:
+    def test_same_polygon_zero_zero(self):
+        assert classify_relation(hwire(0, 4, 0), True, hwire(4, 9, 0), True) is None
+
+    def test_aligned_beyond_three_tracks(self):
+        assert classify_relation(hwire(0, 9, 0), True, hwire(0, 9, 3), True) is None
+        assert classify_relation(hwire(0, 4, 0), True, hwire(8, 9, 0), True) is None
+
+    def test_aligned_at_two_tracks_still_dependent(self):
+        assert classify_relation(hwire(0, 9, 0), True, hwire(0, 9, 2), True) is not None
+
+    def test_diagonal_2_2_independent(self):
+        # Corner gap = sqrt(2) * 60 nm = d_indep exactly -> independent.
+        assert classify_relation(hwire(0, 4, 0), True, hwire(6, 9, 2), True) is None
+
+    def test_diagonal_1_2_dependent(self):
+        assert classify_relation(hwire(0, 4, 0), True, hwire(5, 9, 2), True) is not None

@@ -1,0 +1,146 @@
+"""Unit tests for the scenario table (Table II) and its invariants."""
+
+import pytest
+
+from repro.color import ALL_PAIRS, ColorPair
+from repro.core import (
+    HARD,
+    SCENARIO_RULES,
+    ScenarioType,
+    scenario_for_relation,
+)
+from repro.core.relation import Direction2, GeometryRelation
+from repro.core.scenarios import oriented_cost, table2_rows
+
+
+def rel(along, across, direction, tip=True, overlap=1):
+    return GeometryRelation(
+        along=along,
+        across=across,
+        direction=direction,
+        a_is_tip_owner=tip,
+        overlap=overlap,
+    )
+
+
+class TestTaxonomy:
+    def test_eleven_scenarios(self):
+        assert len(ScenarioType) == 11
+        assert len(SCENARIO_RULES) == 11
+
+    def test_parallel_mapping(self):
+        cases = {
+            (0, 1): ScenarioType.T1A,
+            (1, 0): ScenarioType.T1B,
+            (0, 2): ScenarioType.T2A,
+            (2, 0): ScenarioType.T2B,
+            (1, 1): ScenarioType.T3A,
+            (1, 2): ScenarioType.T3D,
+            (2, 1): ScenarioType.T3E,
+        }
+        for (along, across), expected in cases.items():
+            assert (
+                scenario_for_relation(rel(along, across, Direction2.PARALLEL))
+                is expected
+            )
+
+    def test_orthogonal_mapping(self):
+        cases = {
+            (0, 1): ScenarioType.T2C,
+            (0, 2): ScenarioType.T2D,
+            (1, 1): ScenarioType.T3B,
+            (1, 2): ScenarioType.T3C,
+        }
+        for (along, across), expected in cases.items():
+            assert (
+                scenario_for_relation(rel(along, across, Direction2.ORTHOGONAL))
+                is expected
+            )
+
+    def test_orthogonal_tuple_is_symmetric(self):
+        assert scenario_for_relation(
+            rel(2, 1, Direction2.ORTHOGONAL)
+        ) is ScenarioType.T3C
+
+    def test_unknown_relation_returns_none(self):
+        assert scenario_for_relation(rel(3, 3, Direction2.PARALLEL)) is None
+
+
+class TestColorRules:
+    def test_1a_hard_pairs(self):
+        rule = SCENARIO_RULES[ScenarioType.T1A]
+        assert rule.hard_pairs == (ColorPair.CC, ColorPair.SS)
+        assert rule.cost[ColorPair.CS] == 0
+
+    def test_1b_hard_pairs(self):
+        rule = SCENARIO_RULES[ScenarioType.T1B]
+        assert rule.hard_pairs == (ColorPair.CS, ColorPair.SC)
+        assert rule.cost[ColorPair.CC] == 0  # merge + cut makes same-color free
+
+    def test_2b_never_free(self):
+        rule = SCENARIO_RULES[ScenarioType.T2B]
+        assert rule.min_cost == 1
+        assert rule.base_cost == 1
+        assert rule.max_finite_cost == 2
+
+    def test_trivial_scenarios(self):
+        for stype in (ScenarioType.T2C, ScenarioType.T2D, ScenarioType.T3E):
+            assert SCENARIO_RULES[stype].is_trivial
+
+    def test_non_trivial_scenarios(self):
+        for stype in (ScenarioType.T1A, ScenarioType.T2A, ScenarioType.T3A):
+            assert not SCENARIO_RULES[stype].is_trivial
+
+    def test_3a_prefers_not_cc(self):
+        rule = SCENARIO_RULES[ScenarioType.T3A]
+        assert rule.cost[ColorPair.CC] == 1
+        assert rule.min_cost == 0
+
+    def test_3c_forbids_cs_only(self):
+        rule = SCENARIO_RULES[ScenarioType.T3C]
+        assert rule.cost[ColorPair.CS] == 1
+        assert rule.cost[ColorPair.SC] == 0
+        assert ColorPair.CS in rule.cut_risk
+
+    def test_cut_risks(self):
+        assert SCENARIO_RULES[ScenarioType.T2A].cut_risk == (
+            ColorPair.CS,
+            ColorPair.SC,
+        )
+        assert SCENARIO_RULES[ScenarioType.T2B].cut_risk == (ColorPair.CS,)
+
+
+class TestOrientedCost:
+    def test_overlap_scaling_for_flank_scenarios(self):
+        rule = SCENARIO_RULES[ScenarioType.T2A]
+        assert oriented_cost(rule, ColorPair.CS, True, overlap=5) == 10
+
+    def test_hard_does_not_scale(self):
+        rule = SCENARIO_RULES[ScenarioType.T1A]
+        assert oriented_cost(rule, ColorPair.CC, True, overlap=7) == HARD
+
+    def test_tip_owner_swap(self):
+        rule = SCENARIO_RULES[ScenarioType.T3C]
+        # Tabulated with A = tip owner: CS penalised.
+        assert oriented_cost(rule, ColorPair.CS, True, 1) == 1
+        # When B is the tip owner, the penalised pair flips to SC.
+        assert oriented_cost(rule, ColorPair.SC, False, 1) == 1
+        assert oriented_cost(rule, ColorPair.CS, False, 1) == 0
+
+
+class TestTable2:
+    def test_row_count(self):
+        assert len(table2_rows()) == 11
+
+    def test_trivial_rows_dashes(self):
+        rows = {row[0]: row for row in table2_rows()}
+        assert rows["2-c"][1:] == ("-", "-", "-")
+
+    def test_hard_rows_marked(self):
+        rows = {row[0]: row for row in table2_rows()}
+        assert rows["1-a"][3] == "hard"
+        assert rows["1-a"][1] == "CS/SC"
+
+    def test_2b_row(self):
+        rows = {row[0]: row for row in table2_rows()}
+        assert rows["2-b"] == ("2-b", "CC/SS", "1", "2")

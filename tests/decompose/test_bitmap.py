@@ -1,0 +1,138 @@
+"""Unit tests for the raster canvas and its morphology."""
+
+import numpy as np
+import pytest
+
+from repro.decompose import Bitmap
+from repro.decompose.bitmap import disc
+from repro.errors import GeometryError
+from repro.geometry import Rect
+
+WINDOW = Rect(0, 0, 200, 200)
+
+
+class TestConstruction:
+    def test_shape_follows_resolution(self):
+        bmp = Bitmap(WINDOW, resolution=5)
+        assert bmp.data.shape == (40, 40)
+
+    def test_window_must_align(self):
+        with pytest.raises(GeometryError):
+            Bitmap(Rect(0, 0, 201, 200), resolution=5)
+
+    def test_bad_resolution(self):
+        with pytest.raises(GeometryError):
+            Bitmap(WINDOW, resolution=0)
+
+    def test_from_rects(self):
+        bmp = Bitmap.from_rects(WINDOW, [Rect(0, 0, 50, 50), Rect(100, 100, 150, 150)])
+        assert bmp.count() == 2 * (10 * 10)
+
+
+class TestDrawing:
+    def test_fill_and_sample(self):
+        bmp = Bitmap(WINDOW)
+        bmp.fill(Rect(10, 10, 30, 30))
+        assert bmp.sample(15, 15)
+        assert not bmp.sample(35, 35)
+        assert not bmp.sample(-100, 0)
+
+    def test_fill_clips_to_window(self):
+        bmp = Bitmap(WINDOW)
+        bmp.fill(Rect(-50, -50, 10, 10))
+        assert bmp.count() == 2 * 2
+
+    def test_area(self):
+        bmp = Bitmap(WINDOW)
+        bmp.fill(Rect(0, 0, 100, 50))
+        assert bmp.area_nm2() == 100 * 50
+
+
+class TestBooleanAlgebra:
+    def test_or_and_sub_invert(self):
+        a = Bitmap.from_rects(WINDOW, [Rect(0, 0, 100, 100)])
+        b = Bitmap.from_rects(WINDOW, [Rect(50, 0, 150, 100)])
+        assert (a | b).area_nm2() == 150 * 100
+        assert (a & b).area_nm2() == 50 * 100
+        assert (a - b).area_nm2() == 50 * 100
+        assert (~a).area_nm2() == 200 * 200 - 100 * 100
+
+    def test_incompatible_windows_rejected(self):
+        a = Bitmap(WINDOW)
+        b = Bitmap(Rect(0, 0, 100, 100))
+        with pytest.raises(GeometryError):
+            a | b
+
+    def test_overlaps(self):
+        a = Bitmap.from_rects(WINDOW, [Rect(0, 0, 50, 50)])
+        b = Bitmap.from_rects(WINDOW, [Rect(40, 40, 90, 90)])
+        c = Bitmap.from_rects(WINDOW, [Rect(100, 100, 150, 150)])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestMorphology:
+    def test_disc_structure(self):
+        d = disc(2)
+        assert d.shape == (5, 5)
+        assert d[2, 2]
+        assert not d[0, 0]  # corners outside radius 2
+
+    def test_dilate_grows_isotropically(self):
+        bmp = Bitmap.from_rects(WINDOW, [Rect(90, 90, 110, 110)])
+        grown = bmp.dilate(20)
+        assert grown.sample(100, 125)  # 15 nm beyond edge
+        assert grown.sample(75, 100)
+        assert not grown.sample(75, 75)  # corner: 21+ nm away (Euclidean)
+
+    def test_erode_shrinks(self):
+        bmp = Bitmap.from_rects(WINDOW, [Rect(50, 50, 150, 150)])
+        shrunk = bmp.erode(20)
+        assert shrunk.sample(100, 100)
+        assert not shrunk.sample(55, 100)
+
+    def test_dilate_zero_is_copy(self):
+        bmp = Bitmap.from_rects(WINDOW, [Rect(50, 50, 60, 60)])
+        assert bmp.dilate(0).count() == bmp.count()
+
+    def test_close_bridges_small_gaps(self):
+        bmp = Bitmap.from_rects(
+            WINDOW, [Rect(0, 90, 95, 110), Rect(105, 90, 200, 110)]
+        )  # 10 nm gap
+        closed = bmp.close(15)
+        assert closed.sample(100, 100)
+
+    def test_close_leaves_big_gaps(self):
+        bmp = Bitmap.from_rects(
+            WINDOW, [Rect(0, 90, 60, 110), Rect(140, 90, 200, 110)]
+        )  # 80 nm gap
+        closed = bmp.close(15)
+        assert not closed.sample(100, 100)
+
+    def test_misaligned_radius_rejected(self):
+        bmp = Bitmap(WINDOW)
+        with pytest.raises(GeometryError):
+            bmp.dilate(7)
+
+
+class TestComponents:
+    def test_component_count(self):
+        bmp = Bitmap.from_rects(
+            WINDOW, [Rect(0, 0, 50, 50), Rect(100, 100, 150, 150)]
+        )
+        assert bmp.component_count() == 2
+
+    def test_components_partition(self):
+        bmp = Bitmap.from_rects(
+            WINDOW, [Rect(0, 0, 50, 50), Rect(100, 100, 150, 150)]
+        )
+        comps = bmp.components()
+        assert sum(int(c.sum()) for c in comps) == bmp.count()
+
+    def test_ascii_rendering(self):
+        bmp = Bitmap(Rect(0, 0, 20, 20), resolution=5)
+        bmp.fill(Rect(0, 0, 10, 10))
+        art = bmp.to_ascii()
+        rows = art.splitlines()
+        assert rows[-1].startswith("##")  # bottom row (y=0)
+        assert rows[0].startswith("..")

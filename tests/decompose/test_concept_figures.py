@@ -1,0 +1,75 @@
+"""Semantic checks of the paper's concept figures (Figs. 1, 2, 4).
+
+These tests exercise the decomposition engine on the situations the
+paper's introduction uses to motivate the cut process.
+"""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import (
+    TargetPattern,
+    measure_overlays,
+    synthesize_masks,
+    synthesize_trim_masks,
+    verify_decomposition,
+)
+from repro.geometry import Rect
+
+
+def hwire(net, xlo, xhi, yc, color):
+    return TargetPattern.wire(net, Rect(xlo, yc - 10, xhi, yc + 10), color)
+
+
+class TestFig1CutVsTrim:
+    """Fig. 1: the same target decomposed with the cut and trim flows."""
+
+    def _target(self):
+        return [
+            hwire(0, 0, 400, 0, Color.CORE),
+            hwire(1, 0, 400, 40, Color.SECOND),
+            hwire(2, 0, 400, 80, Color.CORE),
+        ]
+
+    def test_cut_process_manufactures_target(self, rules):
+        report = verify_decomposition(synthesize_masks(self._target(), rules))
+        assert report.prints_correctly
+
+    def test_trim_process_manufactures_target(self, rules):
+        ms = synthesize_trim_masks(self._target(), rules)
+        missing = (ms.target_bmp - ms.printed).count()
+        assert missing <= 2
+        assert ms.conflict_count == 0
+
+
+class TestFig2MergeTechnique:
+    """Fig. 2: the cut process decomposes patterns trim cannot."""
+
+    def test_tip_to_tip_merge_and_cut(self, rules):
+        # Two collinear same-color wires 20 nm apart: the cut process
+        # merges them and separates with a cut; no hard overlay.
+        t = [hwire(0, 0, 190, 0, Color.CORE), hwire(1, 210, 400, 0, Color.CORE)]
+        report = verify_decomposition(synthesize_masks(t, rules))
+        assert report.prints_correctly
+        assert report.overlay.hard_overlay_count == 0
+        assert not report.cut_conflicts
+
+    def test_same_pair_fails_under_trim(self, rules):
+        t = [hwire(0, 0, 190, 0, Color.CORE), hwire(1, 210, 400, 0, Color.CORE)]
+        ms = synthesize_trim_masks(t, rules)
+        assert ms.core_spacing_conflicts  # trim cannot merge
+
+
+class TestFig4AssistProtection:
+    """Fig. 4: assist cores protect second patterns' flanks."""
+
+    def test_assists_remove_side_overlay(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.SECOND)], rules)
+        report = measure_overlays(masks)
+        assert report.side_overlay_nm == 0
+
+    def test_without_assists_trim_overlays(self, rules):
+        from repro.decompose.trim import measure_trim_overlays
+
+        ms = synthesize_trim_masks([hwire(0, 0, 400, 0, Color.SECOND)], rules)
+        assert measure_trim_overlays(ms).side_overlay_nm > 0

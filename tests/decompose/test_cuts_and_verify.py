@@ -1,0 +1,70 @@
+"""Unit tests for bitmap cut-conflict detection and the verifier."""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import (
+    TargetPattern,
+    find_cut_conflicts,
+    synthesize_masks,
+    verify_decomposition,
+)
+from repro.geometry import Rect
+
+
+def hwire(net, xlo, xhi, yc, color):
+    return TargetPattern.wire(net, Rect(xlo, yc - 10, xhi, yc + 10), color)
+
+
+class TestCutConflicts:
+    def test_clean_layout_no_conflicts(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.SECOND)]
+        assert find_cut_conflicts(synthesize_masks(t, rules)) == []
+
+    def test_flanked_core_type_b(self, rules):
+        # A core wire with assist-merge cuts on both flanks: the classic
+        # type B — two cuts d_cut-violating across a w_line wire.
+        t = [
+            hwire(0, 0, 400, 0, Color.CORE),
+            hwire(1, 0, 400, 80, Color.SECOND),
+            hwire(2, 0, 400, -80, Color.SECOND),
+        ]
+        conflicts = find_cut_conflicts(synthesize_masks(t, rules))
+        assert any(c.kind == "min_distance" for c in conflicts)
+
+    def test_conflict_reports_location(self, rules):
+        t = [
+            hwire(0, 0, 400, 0, Color.CORE),
+            hwire(1, 0, 400, 80, Color.SECOND),
+            hwire(2, 0, 400, -80, Color.SECOND),
+        ]
+        conflicts = find_cut_conflicts(synthesize_masks(t, rules))
+        big = max(conflicts, key=lambda c: c.evidence_px)
+        x, y = big.location_nm
+        assert -20 <= y <= 20  # over the middle wire
+
+
+class TestVerifier:
+    def test_clean_decomposition_ok(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.SECOND)]
+        report = verify_decomposition(synthesize_masks(t, rules))
+        assert report.prints_correctly
+        assert report.ok
+
+    def test_hard_overlay_fails_ok(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        report = verify_decomposition(synthesize_masks(t, rules))
+        assert report.overlay.hard_overlay_count > 0
+        assert not report.ok
+
+    def test_unmanufacturable_ss_reported(self, rules):
+        # 1-a SS: spacer cannot form between the wires; printing breaks.
+        t = [hwire(0, 0, 400, 0, Color.SECOND), hwire(1, 0, 400, 40, Color.SECOND)]
+        report = verify_decomposition(synthesize_masks(t, rules))
+        assert not report.ok
+
+    def test_report_counts_px(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE)]
+        report = verify_decomposition(synthesize_masks(t, rules))
+        assert report.missing_target_px <= 2
+        assert report.spacer_over_target_px <= 2

@@ -1,0 +1,99 @@
+"""Unit tests for the GDSII stream writer."""
+
+import struct
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import GdsWriter, TargetPattern, export_masks_gds, synthesize_masks
+from repro.decompose.gdsii import (
+    DEFAULT_LAYER_MAP,
+    _gds_real8,
+    parse_gds_layers,
+)
+from repro.errors import DecompositionError
+from repro.geometry import Rect
+from repro.rules import DesignRules
+
+
+class TestReal8:
+    def test_zero(self):
+        assert _gds_real8(0.0) == b"\0" * 8
+
+    @pytest.mark.parametrize("value", [1.0, 0.001, 1e-9, 2.5, 1e-3])
+    def test_roundtrip(self, value):
+        data = _gds_real8(value)
+        sign_exp = data[0]
+        mantissa = int.from_bytes(data[1:], "big")
+        decoded = mantissa / (1 << 56) * 16 ** ((sign_exp & 0x7F) - 64)
+        assert decoded == pytest.approx(value, rel=1e-12)
+
+    def test_negative(self):
+        data = _gds_real8(-2.0)
+        assert data[0] & 0x80
+
+
+class TestWriter:
+    def test_stream_structure(self):
+        writer = GdsWriter()
+        writer.add_rect("target", Rect(0, 0, 100, 20))
+        data = writer.to_bytes()
+        # HEADER record with version 600 first.
+        length, rtype, dtype = struct.unpack(">HBB", data[:4])
+        assert (rtype, dtype) == (0x00, 0x02)
+        assert struct.unpack(">h", data[4:6])[0] == 600
+        # ENDLIB record last.
+        assert data[-2:] == struct.pack(">BB", 0x04, 0x00)
+
+    def test_boundary_counts(self):
+        writer = GdsWriter()
+        writer.add_rect("target", Rect(0, 0, 10, 10))
+        writer.add_rect("cut", Rect(20, 0, 30, 10))
+        writer.add_rect("cut", Rect(40, 0, 50, 10))
+        counts = parse_gds_layers(writer.to_bytes())
+        assert counts[DEFAULT_LAYER_MAP["target"]] == 1
+        assert counts[DEFAULT_LAYER_MAP["cut"]] == 2
+
+    def test_numeric_layer(self):
+        writer = GdsWriter()
+        writer.add_rect(99, Rect(0, 0, 10, 10))
+        assert parse_gds_layers(writer.to_bytes()) == {99: 1}
+
+    def test_unknown_name_rejected(self):
+        writer = GdsWriter()
+        with pytest.raises(DecompositionError):
+            writer.add_rect("nonsense", Rect(0, 0, 1, 1))
+
+    def test_negative_coordinates(self):
+        writer = GdsWriter()
+        writer.add_rect("core", Rect(-50, -50, -10, -10))
+        counts = parse_gds_layers(writer.to_bytes())
+        assert counts[DEFAULT_LAYER_MAP["core"]] == 1
+
+    def test_write_to_file(self, tmp_path):
+        writer = GdsWriter()
+        writer.add_rect("spacer", Rect(0, 0, 5, 5))
+        path = writer.write(tmp_path / "out.gds")
+        assert path.read_bytes()[:2] == b"\x00\x06"  # HEADER length
+
+
+class TestMaskExport:
+    def test_export_masks(self, tmp_path, rules):
+        targets = [
+            TargetPattern.wire(0, Rect(0, -10, 200, 10), Color.CORE),
+            TargetPattern.wire(1, Rect(0, 30, 200, 50), Color.SECOND),
+        ]
+        masks = synthesize_masks(targets, rules)
+        path = export_masks_gds(masks, tmp_path / "masks.gds")
+        counts = parse_gds_layers(path.read_bytes())
+        assert counts.get(DEFAULT_LAYER_MAP["target"], 0) == 2
+        assert counts.get(DEFAULT_LAYER_MAP["core"], 0) >= 1
+        assert counts.get(DEFAULT_LAYER_MAP["assist"], 0) >= 1
+        assert counts.get(DEFAULT_LAYER_MAP["spacer"], 0) >= 1
+
+    def test_export_without_spacer(self, tmp_path, rules):
+        targets = [TargetPattern.wire(0, Rect(0, -10, 200, 10), Color.CORE)]
+        masks = synthesize_masks(targets, rules)
+        path = export_masks_gds(masks, tmp_path / "m.gds", include_spacer=False)
+        counts = parse_gds_layers(path.read_bytes())
+        assert DEFAULT_LAYER_MAP["spacer"] not in counts

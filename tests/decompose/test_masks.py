@@ -1,0 +1,114 @@
+"""Unit tests for cut-process mask synthesis."""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import TargetPattern, synthesize_masks
+from repro.decompose.masks import default_window
+from repro.errors import DecompositionError
+from repro.geometry import Rect
+
+
+def hwire(net, xlo, xhi, yc, color):
+    return TargetPattern.wire(net, Rect(xlo, yc - 10, xhi, yc + 10), color)
+
+
+class TestWindow:
+    def test_default_window_contains_targets(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE)]
+        window = default_window(t, rules)
+        assert window.contains_rect(Rect(0, -10, 400, 10))
+        assert window.width % 5 == 0
+
+    def test_empty_targets_rejected(self, rules):
+        with pytest.raises(DecompositionError):
+            default_window([], rules)
+
+
+class TestCorePatterns:
+    def test_single_core_wire(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.CORE)], rules)
+        # The wire is on the core mask and prints.
+        assert masks.core_mask.sample(200, 0)
+        assert masks.printed.sample(200, 0)
+        # Spacer wraps it at w_spacer.
+        assert masks.spacer.sample(200, 20)
+        assert not masks.spacer.sample(200, 0)
+        # No assist cores needed.
+        assert not masks.assist.any
+
+    def test_core_boundary_spacer_protected(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.CORE)], rules)
+        # Just above the top boundary (y=10): spacer.
+        assert masks.spacer.sample(200, 12)
+
+
+class TestSecondPatterns:
+    def test_single_second_wire_gets_assists(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.SECOND)], rules)
+        assert masks.assist.any
+        # Assist strips at w_spacer above/below the wire.
+        assert masks.assist.sample(200, 35)  # y in [30, 50)
+        assert masks.assist.sample(200, -35)
+        # The wire itself prints (trench between spacers).
+        assert masks.printed.sample(200, 0)
+        # Its flanks are spacer-protected.
+        assert masks.spacer.sample(200, 15)
+
+    def test_assists_clipped_near_other_second(self, rules):
+        # Second wires on adjacent tracks (1-a SS): no room for the
+        # shared assist -> clipped; spacer cannot protect between them.
+        t = [hwire(0, 0, 400, 0, Color.SECOND), hwire(1, 0, 400, 40, Color.SECOND)]
+        masks = synthesize_masks(t, rules)
+        between = masks.assist.sample(200, 20)
+        assert not between
+
+    def test_assist_is_cut_away(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.SECOND)], rules)
+        # Assist core material must not survive on the wafer.
+        assert not (masks.printed & masks.assist).any
+
+
+class TestMerging:
+    def test_adjacent_cores_merge(self, rules):
+        # 1-a CC: 20 nm gap < d_core -> merged core with a bridge.
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        masks = synthesize_masks(t, rules)
+        assert masks.merged_bridges().any
+        assert masks.core_mask.sample(200, 20)  # bridge material between
+
+    def test_far_cores_do_not_merge(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 120, Color.CORE)]
+        masks = synthesize_masks(t, rules)
+        assert not masks.merged_bridges().any
+
+    def test_diagonal_corner_merge(self, rules):
+        # 3-a CC: corner gap 28.3 nm < d_core -> merge.
+        t = [hwire(0, 0, 390, 0, Color.CORE), hwire(1, 410, 800, 40, Color.CORE)]
+        masks = synthesize_masks(t, rules)
+        assert masks.merged_bridges().any
+
+    def test_merge_never_covers_second_target(self, rules):
+        t = [
+            hwire(0, 0, 400, 0, Color.CORE),
+            hwire(1, 0, 400, 40, Color.SECOND),
+            hwire(2, 0, 400, 80, Color.CORE),
+        ]
+        masks = synthesize_masks(t, rules)
+        second = [r for p in masks.targets if p.color is Color.SECOND for r in p.rects]
+        for rect in second:
+            cx, cy = rect.center
+            assert not masks.core_mask.sample(int(cx), int(cy))
+
+
+class TestCutMask:
+    def test_cut_never_over_target(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        masks = synthesize_masks(t, rules)
+        assert not (masks.cut_mask & masks.target_bmp).any
+
+    def test_printed_covers_targets(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 80, Color.SECOND)]
+        masks = synthesize_masks(t, rules)
+        missing = (masks.target_bmp - masks.printed).count()
+        assert missing <= 2  # rasterisation noise only

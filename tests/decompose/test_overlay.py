@@ -1,0 +1,82 @@
+"""Unit tests for bitmap overlay metrology."""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import TargetPattern, measure_overlays, synthesize_masks
+from repro.geometry import Rect
+
+
+def hwire(net, xlo, xhi, yc, color):
+    return TargetPattern.wire(net, Rect(xlo, yc - 10, xhi, yc + 10), color)
+
+
+def vwire(net, ylo, yhi, xc, color):
+    return TargetPattern.wire(net, Rect(xc - 10, ylo, xc + 10, yhi), color)
+
+
+class TestCleanCases:
+    def test_isolated_core_wire_no_overlay(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.CORE)], rules)
+        report = measure_overlays(masks)
+        assert report.side_overlay_nm == 0
+        assert report.hard_overlay_count == 0
+
+    def test_isolated_second_wire_tips_only(self, rules):
+        masks = synthesize_masks([hwire(0, 0, 400, 0, Color.SECOND)], rules)
+        report = measure_overlays(masks)
+        assert report.side_overlay_nm == 0
+        # Tips of a trench wire are cut-defined: tip overlay, non-critical.
+        assert report.tip_overlay_nm > 0
+
+    def test_1a_proper_coloring_clean(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.SECOND)]
+        report = measure_overlays(synthesize_masks(t, rules))
+        assert report.side_overlay_nm == 0
+        assert report.hard_overlay_count == 0
+
+
+class TestOverlayCases:
+    def test_1a_cc_hard_overlay(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        report = measure_overlays(synthesize_masks(t, rules))
+        # The merge bridge is cut along both facing flanks: long runs.
+        assert report.side_overlay_nm >= 2 * 380
+        assert report.hard_overlay_count >= 2
+
+    def test_2a_mixed_coloring_overlays(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 80, Color.SECOND)]
+        report = measure_overlays(synthesize_masks(t, rules))
+        assert report.side_overlay_nm >= 300  # assist merge along the run
+
+    def test_3a_cc_one_unit(self, rules):
+        t = [hwire(0, 0, 390, 0, Color.CORE), hwire(1, 410, 800, 40, Color.CORE)]
+        report = measure_overlays(synthesize_masks(t, rules))
+        # Fig. 7(e): exactly one unit of side overlay (20 nm) at the corner.
+        assert 0 < report.side_overlay_nm <= 2 * rules.w_line
+        assert report.hard_overlay_count == 0
+
+    def test_vertical_orientation_equivalent(self, rules):
+        h = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        v = [vwire(0, 0, 400, 0, Color.CORE), vwire(1, 0, 400, 40, Color.CORE)]
+        rh = measure_overlays(synthesize_masks(h, rules))
+        rv = measure_overlays(synthesize_masks(v, rules))
+        assert rh.side_overlay_nm == rv.side_overlay_nm
+
+
+class TestReportStructure:
+    def test_edges_carry_runs(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        report = measure_overlays(synthesize_masks(t, rules))
+        side_edges = [e for e in report.edges if e.is_side]
+        assert side_edges
+        for edge in side_edges:
+            assert edge.total_nm == sum(l for _, l in edge.runs_nm)
+            assert edge.max_run_nm <= edge.total_nm
+
+    def test_units_conversion(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 80, Color.SECOND)]
+        report = measure_overlays(synthesize_masks(t, rules))
+        assert report.side_overlay_units == pytest.approx(
+            report.side_overlay_nm / rules.w_line
+        )

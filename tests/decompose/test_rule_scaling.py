@@ -1,0 +1,86 @@
+"""Decomposition behaviour under scaled rule sets and resolutions."""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import (
+    TargetPattern,
+    measure_overlays,
+    synthesize_masks,
+    verify_decomposition,
+)
+from repro.errors import GeometryError
+from repro.geometry import Rect
+from repro.rules import DesignRules
+
+
+def hwire(net, xlo, xhi, yc, color, w=10):
+    return TargetPattern.wire(net, Rect(xlo, yc - w, xhi, yc + w), color)
+
+
+class TestScaledRules:
+    def test_doubled_rules_preserve_scenario_outcomes(self, rules):
+        """The rule relations are scale invariant: doubling every length
+        doubles overlays but keeps the qualitative outcome."""
+        doubled = rules.scaled(2)
+        # 1-a CS at doubled geometry: wires 40 wide, 40 apart.
+        t = [
+            hwire(0, 0, 800, 0, Color.CORE, w=20),
+            hwire(1, 0, 800, 80, Color.SECOND, w=20),
+        ]
+        report = verify_decomposition(synthesize_masks(t, doubled))
+        assert report.prints_correctly
+        assert report.overlay.side_overlay_nm == 0
+
+    def test_doubled_rules_hard_case(self, rules):
+        doubled = rules.scaled(2)
+        t = [
+            hwire(0, 0, 800, 0, Color.CORE, w=20),
+            hwire(1, 0, 800, 80, Color.CORE, w=20),
+        ]
+        report = verify_decomposition(synthesize_masks(t, doubled))
+        assert report.overlay.hard_overlay_count >= 2
+
+    def test_overlay_units_follow_w_line(self, rules):
+        doubled = rules.scaled(2)
+        t = [
+            hwire(0, 0, 780, 0, Color.CORE, w=20),
+            hwire(1, 820, 1600, 80, Color.CORE, w=20),
+        ]
+        report = measure_overlays(synthesize_masks(t, doubled))
+        # 3-a CC at doubled scale: about one (doubled) unit.
+        assert 0 < report.side_overlay_nm <= 2 * doubled.w_line
+
+
+class TestResolutionHandling:
+    def test_coarse_resolution_rejected_when_misaligned(self, rules):
+        # d_overlap = 5 nm does not divide by 10 nm/px.
+        t = [hwire(0, 0, 400, 0, Color.SECOND)]
+        with pytest.raises(GeometryError):
+            synthesize_masks(t, rules, resolution=10)
+
+    def test_coarse_resolution_works_with_compatible_rules(self):
+        rules = DesignRules(d_overlap=10)
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.SECOND)]
+        report = verify_decomposition(synthesize_masks(t, rules, resolution=10))
+        assert report.prints_correctly
+
+    def test_fine_resolution_consistent(self, rules):
+        t = [hwire(0, 0, 200, 0, Color.CORE), hwire(1, 0, 200, 40, Color.SECOND)]
+        coarse = measure_overlays(synthesize_masks(t, rules, resolution=5))
+        fine = measure_overlays(synthesize_masks(t, rules, resolution=1))
+        assert coarse.side_overlay_nm == fine.side_overlay_nm == 0
+
+
+class TestExplicitWindows:
+    def test_explicit_window_must_cover_targets(self, rules):
+        t = [hwire(0, 0, 200, 0, Color.CORE)]
+        window = Rect(-100, -100, 400, 100)
+        masks = synthesize_masks(t, rules, window=window)
+        assert masks.window == window
+        assert masks.printed.sample(100, 0)
+
+    def test_misaligned_window_rejected(self, rules):
+        t = [hwire(0, 0, 200, 0, Color.CORE)]
+        with pytest.raises(GeometryError):
+            synthesize_masks(t, rules, window=Rect(-101, -100, 400, 100))

@@ -1,0 +1,89 @@
+"""Compact physics audit of the scenario table (Table II, in the suite).
+
+The full enumeration lives in ``benchmarks/bench_table2.py``; this test
+keeps the load-bearing physical facts under plain ``pytest tests/`` so a
+regression in the decomposition engine cannot hide until a bench run.
+"""
+
+import pytest
+
+from repro.color import ColorPair
+from repro.core import ScenarioType
+from repro.decompose import scenario_clip, synthesize_masks, verify_decomposition
+from repro.rules import DesignRules
+
+RULES = DesignRules()
+
+
+def measure(stype, pair):
+    report = verify_decomposition(
+        synthesize_masks(scenario_clip(stype, pair, RULES), RULES)
+    )
+    units = report.overlay.side_overlay_nm / RULES.w_line
+    clean = report.prints_correctly and report.overlay.hard_overlay_count == 0
+    return units, clean
+
+
+class TestHardScenarios:
+    @pytest.mark.parametrize("pair", [ColorPair.CC, ColorPair.SS])
+    def test_1a_same_colors_catastrophic(self, pair):
+        units, clean = measure(ScenarioType.T1A, pair)
+        assert units > 1 or not clean
+
+    @pytest.mark.parametrize("pair", [ColorPair.CS, ColorPair.SC])
+    def test_1a_different_colors_clean(self, pair):
+        assert measure(ScenarioType.T1A, pair) == (0, True)
+
+
+class TestMergeTechnique:
+    @pytest.mark.parametrize("pair", [ColorPair.CC, ColorPair.SS])
+    def test_1b_same_colors_free(self, pair):
+        """The headline flexibility: merge + cut costs no side overlay."""
+        assert measure(ScenarioType.T1B, pair) == (0, True)
+
+    def test_1b_mixed_worse_than_merged(self):
+        merged, _ = measure(ScenarioType.T1B, ColorPair.CC)
+        mixed, _ = measure(ScenarioType.T1B, ColorPair.CS)
+        assert mixed > merged
+
+
+class TestAssistMerging:
+    def test_2a_same_colors_clean(self):
+        assert measure(ScenarioType.T2A, ColorPair.CC) == (0, True)
+        units, _ = measure(ScenarioType.T2A, ColorPair.SS)
+        assert units == 0
+
+    @pytest.mark.parametrize("pair", [ColorPair.CS, ColorPair.SC])
+    def test_2a_mixed_colors_severe(self, pair):
+        units, _ = measure(ScenarioType.T2A, pair)
+        assert units > 2
+
+
+class TestDiagonals:
+    def test_3a_cc_costs_about_one_unit(self):
+        units, clean = measure(ScenarioType.T3A, ColorPair.CC)
+        assert 0 < units <= 2
+        assert clean
+
+    def test_3a_mixed_clean(self):
+        assert measure(ScenarioType.T3A, ColorPair.CS)[0] == 0
+
+    def test_3e_trivial(self):
+        for pair in ColorPair:
+            assert measure(ScenarioType.T3E, pair) == (0, True)
+
+
+class TestPerNetAttribution:
+    def test_victim_identified(self):
+        # 2-a CS: the assist of the second pattern merges with the core
+        # (net 0) — net 0's flank carries the overlay.
+        report = verify_decomposition(
+            synthesize_masks(
+                scenario_clip(ScenarioType.T2A, ColorPair.CS, RULES), RULES
+            )
+        )
+        totals = report.overlay.per_net_side_overlay()
+        worst = report.overlay.worst_net()
+        assert worst is not None
+        assert worst[0] == 0
+        assert totals[0] == worst[1] > 0

@@ -1,0 +1,63 @@
+"""Unit tests for the trim-process decomposition (baseline substrate)."""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import TargetPattern, synthesize_trim_masks
+from repro.decompose.trim import measure_trim_overlays
+from repro.geometry import Rect
+
+
+def hwire(net, xlo, xhi, yc, color):
+    return TargetPattern.wire(net, Rect(xlo, yc - 10, xhi, yc + 10), color)
+
+
+class TestTrimMasks:
+    def test_core_prints_directly(self, rules):
+        ms = synthesize_trim_masks([hwire(0, 0, 400, 0, Color.CORE)], rules)
+        assert ms.printed.sample(200, 0)
+        assert ms.conflict_count == 0
+
+    def test_second_prints_through_trim(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.SECOND)]
+        ms = synthesize_trim_masks(t, rules)
+        assert ms.printed.sample(200, 40)
+        assert ms.trim_mask.sample(200, 40)
+
+    def test_core_spacing_conflict(self, rules):
+        # Two cores 20 nm apart: not mergeable in the trim process.
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.CORE)]
+        ms = synthesize_trim_masks(t, rules)
+        assert ms.core_spacing_conflicts == [(0, 1)]
+
+    def test_trim_line_end_conflict(self, rules):
+        # Two second wires abutting tip-to-tip: trim edges too close.
+        t = [hwire(0, 0, 190, 0, Color.SECOND), hwire(1, 210, 400, 0, Color.SECOND)]
+        ms = synthesize_trim_masks(t, rules)
+        assert ms.trim_conflicts
+
+    def test_core_tips_do_not_conflict(self, rules):
+        t = [hwire(0, 0, 190, 0, Color.CORE), hwire(1, 210, 400, 0, Color.SECOND)]
+        ms = synthesize_trim_masks(t, rules)
+        assert ms.trim_conflicts == []
+
+
+class TestTrimOverlay:
+    def test_unprotected_second_overlays_both_flanks(self, rules):
+        # A lone second wire has no assists in the trim flow: both flanks
+        # are trim-defined -> side overlay ~ 2x length.
+        ms = synthesize_trim_masks([hwire(0, 0, 400, 0, Color.SECOND)], rules)
+        report = measure_trim_overlays(ms)
+        assert report.side_overlay_nm >= 2 * 390
+
+    def test_core_neighbour_protects_one_flank(self, rules):
+        t = [hwire(0, 0, 400, 0, Color.CORE), hwire(1, 0, 400, 40, Color.SECOND)]
+        ms = synthesize_trim_masks(t, rules)
+        report = measure_trim_overlays(ms)
+        # South flank protected by the core's spacer; north flank exposed.
+        assert 380 <= report.side_overlay_nm <= 500
+
+    def test_core_patterns_never_counted(self, rules):
+        ms = synthesize_trim_masks([hwire(0, 0, 400, 0, Color.CORE)], rules)
+        report = measure_trim_overlays(ms)
+        assert report.side_overlay_nm == 0

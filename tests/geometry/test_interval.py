@@ -1,0 +1,110 @@
+"""Unit tests for repro.geometry.interval."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(5, 5)
+        with pytest.raises(GeometryError):
+            Interval(6, 5)
+
+    def test_length(self):
+        assert Interval(2, 9).length == 7
+
+    def test_contains_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+
+    def test_overlaps_excludes_touching(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_touches_or_overlaps_includes_touching(self):
+        assert Interval(0, 5).touches_or_overlaps(Interval(5, 9))
+        assert not Interval(0, 5).touches_or_overlaps(Interval(6, 9))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 9)) is None
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(7, 9)) == Interval(0, 9)
+
+    def test_gap_to(self):
+        assert Interval(0, 5).gap_to(Interval(8, 9)) == 3
+        assert Interval(8, 9).gap_to(Interval(0, 5)) == 3
+        assert Interval(0, 5).gap_to(Interval(4, 9)) == 0
+        assert Interval(0, 5).gap_to(Interval(5, 9)) == 0
+
+    def test_shifted(self):
+        assert Interval(1, 4).shifted(10) == Interval(11, 14)
+
+    def test_expanded(self):
+        assert Interval(5, 7).expanded(2) == Interval(3, 9)
+        with pytest.raises(GeometryError):
+            Interval(5, 7).expanded(-1)
+
+
+class TestIntervalSet:
+    def test_normalisation_merges_overlaps_and_touching(self):
+        s = IntervalSet([Interval(0, 3), Interval(3, 5), Interval(4, 8), Interval(10, 12)])
+        assert s.spans() == [(0, 8), (10, 12)]
+
+    def test_total_length(self):
+        s = IntervalSet([Interval(0, 3), Interval(10, 12)])
+        assert s.total_length == 5
+
+    def test_equality_is_canonical(self):
+        a = IntervalSet([Interval(0, 2), Interval(2, 4)])
+        b = IntervalSet([Interval(0, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9), Interval(20, 21)])
+        assert s.contains(0)
+        assert not s.contains(2)
+        assert s.contains(8)
+        assert s.contains(20)
+        assert not s.contains(21)
+        assert not s.contains(-1)
+
+    def test_union(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = IntervalSet([Interval(1, 5)])
+        assert a.union(b).spans() == [(0, 5)]
+
+    def test_subtract_middle(self):
+        a = IntervalSet([Interval(0, 10)])
+        b = IntervalSet([Interval(3, 6)])
+        assert a.subtract(b).spans() == [(0, 3), (6, 10)]
+
+    def test_subtract_multiple_cuts(self):
+        a = IntervalSet([Interval(0, 10), Interval(20, 30)])
+        b = IntervalSet([Interval(2, 4), Interval(8, 22), Interval(29, 40)])
+        assert a.subtract(b).spans() == [(0, 2), (4, 8), (22, 29)]
+
+    def test_subtract_everything(self):
+        a = IntervalSet([Interval(3, 5)])
+        assert not a.subtract(IntervalSet([Interval(0, 10)]))
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 5), Interval(8, 12)])
+        b = IntervalSet([Interval(4, 9)])
+        assert a.intersection(b).spans() == [(4, 5), (8, 9)]
+
+    def test_max_run_length(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 11)])
+        assert s.max_run_length() == 6
+        assert IntervalSet().max_run_length() == 0
+
+    def test_empty_set_is_falsy(self):
+        assert not IntervalSet()
+        assert IntervalSet([Interval(0, 1)])

@@ -1,0 +1,60 @@
+"""Unit tests for repro.geometry.point."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.point import MANHATTAN_STEPS
+
+
+class TestPointBasics:
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point(3, 7)
+        assert (x, y) == (3, 7)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_equality_and_hash(self):
+        assert Point(2, 3) == Point(2, 3)
+        assert len({Point(2, 3), Point(2, 3), Point(3, 2)}) == 2
+
+    def test_addition_and_subtraction(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_negation(self):
+        assert -Point(2, -5) == Point(-2, 5)
+
+    def test_scaled(self):
+        assert Point(2, -3).scaled(4) == Point(8, -12)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(-3, 2) == Point(-2, 3)
+
+
+class TestPointMetrics:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_manhattan_is_symmetric(self):
+        a, b = Point(-2, 5), Point(4, -1)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    def test_chebyshev_distance(self):
+        assert Point(0, 0).chebyshev(Point(3, 4)) == 4
+
+    def test_euclidean_sq(self):
+        assert Point(0, 0).euclidean_sq(Point(3, 4)) == 25
+
+    def test_alignment(self):
+        assert Point(3, 5).is_aligned_with(Point(3, 9))
+        assert Point(3, 5).is_aligned_with(Point(8, 5))
+        assert not Point(3, 5).is_aligned_with(Point(4, 6))
+
+
+def test_manhattan_steps_are_unit_and_distinct():
+    assert len(set(MANHATTAN_STEPS)) == 4
+    origin = Point(0, 0)
+    for step in MANHATTAN_STEPS:
+        assert origin.manhattan(origin + step) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for repro.geometry.polygon (Theorem 3's fragmentation)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect, RectilinearPolygon, decompose_rectilinear
+
+
+class TestDecomposeRectilinear:
+    def test_empty(self):
+        assert decompose_rectilinear([]) == []
+
+    def test_single_rect_unchanged(self):
+        assert decompose_rectilinear([Rect(0, 0, 3, 2)]) == [Rect(0, 0, 3, 2)]
+
+    def test_fragments_are_disjoint_and_cover(self):
+        rects = [Rect(0, 0, 10, 2), Rect(4, 0, 6, 8)]
+        frags = decompose_rectilinear(rects)
+        assert sum(f.area for f in frags) == 10 * 2 + 2 * 8 - 2 * 2
+        for i, a in enumerate(frags):
+            for b in frags[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_canonical_for_same_point_set(self):
+        a = decompose_rectilinear([Rect(0, 0, 4, 2), Rect(0, 2, 4, 4)])
+        b = decompose_rectilinear([Rect(0, 0, 2, 4), Rect(2, 0, 4, 4)])
+        assert a == b == [Rect(0, 0, 4, 4)]
+
+    def test_vertical_merge_of_identical_coverage(self):
+        # An L: slabs with identical x-coverage merge vertically.
+        frags = decompose_rectilinear([Rect(0, 0, 6, 2), Rect(0, 2, 2, 6)])
+        assert Rect(0, 0, 6, 2) in frags
+        assert Rect(0, 2, 2, 6) in frags
+
+
+class TestRectilinearPolygon:
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            RectilinearPolygon([])
+
+    def test_equality_across_assembly(self):
+        a = RectilinearPolygon([Rect(0, 0, 4, 2), Rect(2, 0, 6, 2)])
+        b = RectilinearPolygon([Rect(0, 0, 6, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_bbox_and_area(self):
+        p = RectilinearPolygon([Rect(0, 0, 2, 2), Rect(4, 4, 6, 6)])
+        assert p.bbox == Rect(0, 0, 6, 6)
+        assert p.area == 8
+
+    def test_contains_point(self):
+        p = RectilinearPolygon([Rect(0, 0, 2, 2)])
+        assert p.contains_point(Point(1, 1))
+        assert not p.contains_point(Point(2, 2))
+
+    def test_overlaps(self):
+        a = RectilinearPolygon([Rect(0, 0, 4, 4)])
+        b = RectilinearPolygon([Rect(3, 3, 6, 6)])
+        c = RectilinearPolygon([Rect(4, 0, 6, 4)])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_gap_to(self):
+        a = RectilinearPolygon([Rect(0, 0, 2, 2)])
+        b = RectilinearPolygon([Rect(5, 0, 7, 2)])
+        assert a.gap_to(b) == 3
+        assert a.gap_to(a) == 0
+
+    def test_translated(self):
+        p = RectilinearPolygon([Rect(0, 0, 2, 2)]).translated(3, 4)
+        assert p.bbox == Rect(3, 4, 5, 6)
+
+    def test_connectivity(self):
+        connected = RectilinearPolygon([Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)])
+        assert connected.is_connected()
+        disconnected = RectilinearPolygon([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)])
+        assert not disconnected.is_connected()
+
+    def test_corner_touch_is_not_connected(self):
+        p = RectilinearPolygon([Rect(0, 0, 2, 2), Rect(2, 2, 4, 4)])
+        assert not p.is_connected()

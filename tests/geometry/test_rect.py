@@ -1,0 +1,121 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(GeometryError):
+            Rect(0, 5, 3, 5)
+
+    def test_from_points_inflates_to_cells(self):
+        r = Rect.from_points(Point(3, 1), Point(1, 4))
+        assert r == Rect(1, 1, 4, 5)
+
+    def test_from_center(self):
+        assert Rect.from_center(Point(5, 5), 2, 3) == Rect(3, 2, 7, 8)
+
+
+class TestMeasures:
+    def test_width_height_area(self):
+        r = Rect(1, 2, 4, 7)
+        assert (r.width, r.height, r.area) == (3, 5, 15)
+
+    def test_orientation(self):
+        assert Rect(0, 0, 5, 1).is_horizontal
+        assert not Rect(0, 0, 1, 5).is_horizontal
+        assert Rect(0, 0, 2, 2).is_horizontal  # squares count as horizontal
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == (2.0, 1.0)
+
+    def test_corners_ccw(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.corners() == (Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3))
+
+
+class TestPredicates:
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 3, 3)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(3, 0))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 5, 5))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 11, 5))
+
+    def test_overlaps_interiors_only(self):
+        assert Rect(0, 0, 5, 5).overlaps(Rect(4, 4, 9, 9))
+        assert not Rect(0, 0, 5, 5).overlaps(Rect(5, 0, 9, 5))
+
+    def test_touches(self):
+        assert Rect(0, 0, 5, 5).touches(Rect(5, 0, 9, 5))  # edge
+        assert Rect(0, 0, 5, 5).touches(Rect(5, 5, 9, 9))  # corner
+        assert not Rect(0, 0, 5, 5).touches(Rect(4, 4, 9, 9))  # overlap
+        assert not Rect(0, 0, 5, 5).touches(Rect(6, 0, 9, 5))  # gap
+
+
+class TestDistances:
+    def test_gap_axes(self):
+        a, b = Rect(0, 0, 5, 5), Rect(8, 9, 12, 12)
+        assert a.gap_x(b) == 3
+        assert a.gap_y(b) == 4
+
+    def test_gap_zero_when_projections_overlap(self):
+        a, b = Rect(0, 0, 5, 5), Rect(3, 9, 12, 12)
+        assert a.gap_x(b) == 0
+
+    def test_euclidean_gap_sq(self):
+        a, b = Rect(0, 0, 5, 5), Rect(8, 9, 12, 12)
+        assert a.euclidean_gap_sq(b) == 9 + 16
+
+    def test_manhattan_gap(self):
+        a, b = Rect(0, 0, 5, 5), Rect(8, 9, 12, 12)
+        assert a.manhattan_gap(b) == 7
+
+
+class TestConstructiveOps:
+    def test_intersection(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(3, 3, 9, 9)) == Rect(3, 3, 5, 5)
+        assert Rect(0, 0, 5, 5).intersection(Rect(5, 5, 9, 9)) is None
+
+    def test_hull(self):
+        assert Rect(0, 0, 2, 2).hull(Rect(5, 5, 7, 7)) == Rect(0, 0, 7, 7)
+
+    def test_inflated(self):
+        assert Rect(2, 2, 4, 4).inflated(1) == Rect(1, 1, 5, 5)
+        assert Rect(0, 0, 4, 4).inflated(-1) == Rect(1, 1, 3, 3)
+
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(3, -1) == Rect(3, -1, 5, 1)
+
+    def test_scaled(self):
+        assert Rect(1, 2, 3, 4).scaled(10) == Rect(10, 20, 30, 40)
+        with pytest.raises(GeometryError):
+            Rect(1, 2, 3, 4).scaled(0)
+
+    def test_subtract_no_overlap(self):
+        r = Rect(0, 0, 5, 5)
+        assert r.subtract(Rect(6, 6, 9, 9)) == (r,)
+
+    def test_subtract_hole_in_middle(self):
+        pieces = Rect(0, 0, 10, 10).subtract(Rect(3, 3, 6, 6))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == 100 - 9
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_subtract_full_cover(self):
+        assert Rect(2, 2, 4, 4).subtract(Rect(0, 0, 10, 10)) == ()
+
+    def test_cells_enumeration(self):
+        cells = list(Rect(0, 0, 2, 3).cells())
+        assert len(cells) == 6
+        assert Point(1, 2) in cells

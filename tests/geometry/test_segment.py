@@ -1,0 +1,72 @@
+"""Unit tests for repro.geometry.segment."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect, Segment, points_to_segments
+
+
+class TestSegment:
+    def test_diagonal_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(0, Point(0, 0), Point(2, 3))
+
+    def test_canonical_endpoint_order(self):
+        a = Segment(0, Point(5, 2), Point(1, 2))
+        b = Segment(0, Point(1, 2), Point(5, 2))
+        assert a == b
+        assert a.a == Point(1, 2)
+
+    def test_orientation(self):
+        assert Segment(0, Point(0, 3), Point(5, 3)).horizontal
+        assert not Segment(0, Point(2, 0), Point(2, 5)).horizontal
+        assert Segment(0, Point(2, 2), Point(2, 2)).horizontal  # point defaults H
+
+    def test_point_segment(self):
+        seg = Segment(1, Point(4, 4), Point(4, 4))
+        assert seg.is_point
+        assert seg.length == 0
+        assert list(seg.points()) == [Point(4, 4)]
+
+    def test_length_is_steps(self):
+        assert Segment(0, Point(1, 1), Point(5, 1)).length == 4
+
+    def test_points_in_order(self):
+        seg = Segment(0, Point(2, 7), Point(2, 4))
+        assert list(seg.points()) == [Point(2, 4), Point(2, 5), Point(2, 6), Point(2, 7)]
+
+    def test_to_rect_footprint(self):
+        seg = Segment(0, Point(1, 3), Point(4, 3))
+        assert seg.to_rect() == Rect(1, 3, 5, 4)
+
+
+class TestPointsToSegments:
+    def test_empty(self):
+        assert points_to_segments(0, []) == []
+
+    def test_single_point(self):
+        segs = points_to_segments(2, [Point(3, 3)])
+        assert segs == [Segment(2, Point(3, 3), Point(3, 3))]
+
+    def test_straight_run_is_one_segment(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)]
+        assert points_to_segments(0, pts) == [Segment(0, Point(0, 0), Point(3, 0))]
+
+    def test_l_shape_splits_at_turn(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 1), Point(2, 2)]
+        segs = points_to_segments(0, pts)
+        assert segs == [
+            Segment(0, Point(0, 0), Point(2, 0)),
+            Segment(0, Point(2, 0), Point(2, 2)),
+        ]
+
+    def test_non_adjacent_points_rejected(self):
+        with pytest.raises(GeometryError):
+            points_to_segments(0, [Point(0, 0), Point(2, 0)])
+
+    def test_zigzag(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(2, 1)]
+        segs = points_to_segments(0, pts)
+        assert len(segs) == 3
+        # Segments chain: each shares an endpoint with the next.
+        assert segs[0].b == segs[1].a or segs[0].b == segs[1].b

@@ -1,0 +1,76 @@
+"""Unit tests for repro.geometry.spatial.GridIndex."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import GridIndex, Rect
+
+
+class TestGridIndex:
+    def test_bad_bucket_size(self):
+        with pytest.raises(GeometryError):
+            GridIndex(bucket_size=0)
+
+    def test_insert_and_query(self):
+        idx = GridIndex(bucket_size=4)
+        idx.insert(Rect(0, 0, 2, 2), "a")
+        idx.insert(Rect(10, 10, 12, 12), "b")
+        hits = idx.query(Rect(1, 1, 11, 11))
+        assert {item for _, item in hits} == {"a", "b"}
+
+    def test_query_misses_disjoint(self):
+        idx = GridIndex(bucket_size=4)
+        idx.insert(Rect(0, 0, 2, 2), "a")
+        assert idx.query(Rect(5, 5, 6, 6)) == []
+
+    def test_query_deduplicates_spanning_entries(self):
+        idx = GridIndex(bucket_size=2)
+        idx.insert(Rect(0, 0, 10, 10), "big")  # spans many buckets
+        hits = idx.query(Rect(0, 0, 10, 10))
+        assert len(hits) == 1
+
+    def test_remove(self):
+        idx = GridIndex(bucket_size=4)
+        r = Rect(0, 0, 2, 2)
+        idx.insert(r, "a")
+        assert idx.remove(r, "a")
+        assert not idx.remove(r, "a")
+        assert idx.query(Rect(0, 0, 3, 3)) == []
+        assert len(idx) == 0
+
+    def test_len_counts_registrations(self):
+        idx = GridIndex()
+        idx.insert(Rect(0, 0, 2, 2), "a")
+        idx.insert(Rect(0, 0, 2, 2), "b")
+        assert len(idx) == 2
+
+    def test_neighbours_strict_distance(self):
+        idx = GridIndex(bucket_size=4)
+        idx.insert(Rect(0, 0, 2, 2), "near")  # gap 2 from the query rect
+        idx.insert(Rect(8, 0, 10, 2), "far")  # gap 3 from the query rect
+        query = Rect(4, 0, 5, 2)  # cell at x=4
+        names = {item for _, item in idx.neighbours(query, 3)}
+        assert names == {"near"}
+
+    def test_neighbours_includes_overlapping(self):
+        idx = GridIndex(bucket_size=4)
+        idx.insert(Rect(0, 0, 5, 5), "x")
+        assert idx.neighbours(Rect(1, 1, 2, 2), 3)
+
+    def test_negative_coordinates(self):
+        idx = GridIndex(bucket_size=4)
+        idx.insert(Rect(-8, -8, -6, -6), "neg")
+        assert idx.query(Rect(-7, -7, -5, -5))
+
+    def test_items_iterates_once_each(self):
+        idx = GridIndex(bucket_size=2)
+        idx.insert(Rect(0, 0, 7, 7), "spanning")
+        idx.insert(Rect(1, 1, 2, 2), "small")
+        assert sorted(item for _, item in idx.items()) == ["small", "spanning"]
+
+    def test_clear(self):
+        idx = GridIndex()
+        idx.insert(Rect(0, 0, 1, 1), "a")
+        idx.clear()
+        assert len(idx) == 0
+        assert idx.query(Rect(0, 0, 2, 2)) == []

@@ -1,0 +1,44 @@
+"""Unit tests for layers and vias."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.geometry import Point
+from repro.grid import Direction, RoutingLayer, Via, default_layer_stack
+
+
+class TestDirection:
+    def test_orthogonal(self):
+        assert Direction.HORIZONTAL.orthogonal is Direction.VERTICAL
+        assert Direction.VERTICAL.orthogonal is Direction.HORIZONTAL
+
+
+class TestRoutingLayer:
+    def test_negative_index_rejected(self):
+        with pytest.raises(GridError):
+            RoutingLayer(index=-1, name="M0", direction=Direction.HORIZONTAL)
+
+    def test_default_stack_alternates(self):
+        stack = default_layer_stack(4)
+        assert [l.name for l in stack] == ["M1", "M2", "M3", "M4"]
+        assert stack[0].direction is Direction.HORIZONTAL
+        assert stack[1].direction is Direction.VERTICAL
+        assert stack[3].direction is Direction.VERTICAL
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(GridError):
+            default_layer_stack(0)
+
+
+class TestVia:
+    def test_upper_layer(self):
+        via = Via(lower=1, at=Point(3, 4))
+        assert via.upper == 2
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(GridError):
+            Via(lower=-1, at=Point(0, 0))
+
+    def test_ordering_and_equality(self):
+        assert Via(0, Point(1, 1)) == Via(0, Point(1, 1))
+        assert Via(0, Point(1, 1)) < Via(1, Point(0, 0))

@@ -1,0 +1,135 @@
+"""Unit tests for the multi-layer occupancy grid."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.geometry import Point, Rect, Segment
+from repro.grid import CellState, Direction, RoutingGrid, default_layer_stack
+
+
+class TestConstruction:
+    def test_default_stack_is_hvh(self):
+        grid = RoutingGrid(10, 10)
+        assert [l.direction for l in grid.layers] == [
+            Direction.HORIZONTAL,
+            Direction.VERTICAL,
+            Direction.HORIZONTAL,
+        ]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(GridError):
+            RoutingGrid(0, 10)
+
+    def test_bad_layer_indices_rejected(self):
+        layers = default_layer_stack(2)
+        with pytest.raises(GridError):
+            RoutingGrid(5, 5, layers=list(reversed(layers)))
+
+    def test_track_grid_pitch_from_rules(self):
+        grid = RoutingGrid(5, 5)
+        assert grid.track_grid.pitch_nm == 40
+        assert grid.track_grid.wire_width_nm == 20
+
+
+class TestOccupancy:
+    def test_initially_free(self):
+        grid = RoutingGrid(5, 5)
+        assert grid.is_free(0, Point(2, 2))
+        assert grid.owner(0, Point(2, 2)) == CellState.FREE
+
+    def test_occupy_and_release(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy(1, Point(2, 2), 7)
+        assert grid.owner(1, Point(2, 2)) == 7
+        assert not grid.is_free(1, Point(2, 2))
+        assert grid.is_available(1, Point(2, 2), 7)
+        assert not grid.is_available(1, Point(2, 2), 8)
+        grid.release(1, Point(2, 2), 7)
+        assert grid.is_free(1, Point(2, 2))
+
+    def test_release_wrong_owner_is_noop(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy(0, Point(1, 1), 3)
+        grid.release(0, Point(1, 1), 4)
+        assert grid.owner(0, Point(1, 1)) == 3
+
+    def test_double_occupy_conflict(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy(0, Point(1, 1), 3)
+        with pytest.raises(GridError):
+            grid.occupy(0, Point(1, 1), 4)
+        grid.occupy(0, Point(1, 1), 3)  # idempotent for same net
+
+    def test_negative_net_id_rejected(self):
+        grid = RoutingGrid(5, 5)
+        with pytest.raises(GridError):
+            grid.occupy(0, Point(0, 0), -3)
+
+    def test_out_of_bounds(self):
+        grid = RoutingGrid(5, 5)
+        with pytest.raises(GridError):
+            grid.owner(0, Point(5, 0))
+        with pytest.raises(GridError):
+            grid.owner(3, Point(0, 0))
+
+    def test_release_net_bulk(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy(0, Point(0, 0), 1)
+        grid.occupy(1, Point(1, 1), 1)
+        grid.occupy(0, Point(2, 2), 2)
+        assert grid.release_net(1) == 2
+        assert grid.is_free(0, Point(0, 0))
+        assert grid.owner(0, Point(2, 2)) == 2
+
+    def test_block_region(self):
+        grid = RoutingGrid(5, 5)
+        grid.block(0, Rect(1, 1, 3, 3))
+        assert grid.owner(0, Point(1, 1)) == CellState.BLOCKED
+        assert grid.owner(0, Point(2, 2)) == CellState.BLOCKED
+        assert grid.is_free(0, Point(3, 3))
+        assert grid.blocked_cells(0) == 4
+
+    def test_occupy_segment(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy_segment(Segment(0, Point(0, 2), Point(3, 2)), 9)
+        assert all(grid.owner(0, Point(x, 2)) == 9 for x in range(4))
+
+    def test_utilization(self):
+        grid = RoutingGrid(2, 2, layers=default_layer_stack(1))
+        assert grid.utilization() == 0.0
+        grid.occupy(0, Point(0, 0), 1)
+        assert grid.utilization() == pytest.approx(0.25)
+
+    def test_cells_of_net(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy(0, Point(1, 2), 4)
+        grid.occupy(2, Point(3, 3), 4)
+        cells = set(grid.cells_of_net(4))
+        assert cells == {(0, Point(1, 2)), (2, Point(3, 3))}
+
+    def test_copy_is_independent(self):
+        grid = RoutingGrid(5, 5)
+        grid.occupy(0, Point(0, 0), 1)
+        clone = grid.copy()
+        clone.occupy(0, Point(1, 1), 2)
+        assert grid.is_free(0, Point(1, 1))
+        assert clone.owner(0, Point(0, 0)) == 1
+
+
+class TestGeometryLowering:
+    def test_segment_to_nm_horizontal(self):
+        grid = RoutingGrid(20, 20)
+        rect = grid.segment_to_nm(Segment(0, Point(1, 2), Point(4, 2)))
+        # Track centres at 40*x; wire 20 wide.
+        assert rect == Rect(40 - 10, 80 - 10, 160 + 10, 80 + 10)
+
+    def test_segment_to_nm_point(self):
+        grid = RoutingGrid(20, 20)
+        rect = grid.segment_to_nm(Segment(0, Point(3, 3), Point(3, 3)))
+        assert rect.width == 20 and rect.height == 20
+
+    def test_layer_direction(self):
+        grid = RoutingGrid(5, 5)
+        assert grid.layer_direction(1) is Direction.VERTICAL
+        with pytest.raises(GridError):
+            grid.layer_direction(9)

@@ -1,0 +1,66 @@
+"""Unit tests for netlist text I/O."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.geometry import Point
+from repro.netlist import read_netlist, write_netlist
+from repro.netlist.io import parse_netlist
+
+
+SAMPLE = """
+# comment line
+n0 L0 1,2 -> L0 9,2
+n1 L0 4,4 -> L1 4,11   # trailing comment
+
+n2 L0 0,0;0,1 -> L0 7,7;8,7;9,7
+"""
+
+
+class TestParse:
+    def test_parses_nets_in_order(self):
+        nl = parse_netlist(SAMPLE)
+        assert len(nl) == 3
+        assert nl.by_name("n0").net_id == 0
+        assert nl.by_name("n2").net_id == 2
+
+    def test_fixed_pin_coordinates(self):
+        nl = parse_netlist(SAMPLE)
+        n0 = nl.by_name("n0")
+        assert n0.source.primary == Point(1, 2)
+        assert n0.target.primary == Point(9, 2)
+
+    def test_layers(self):
+        nl = parse_netlist(SAMPLE)
+        assert nl.by_name("n1").target.layer == 1
+
+    def test_multi_candidates(self):
+        nl = parse_netlist(SAMPLE)
+        n2 = nl.by_name("n2")
+        assert len(n2.target.candidates) == 3
+        assert n2.is_multi_candidate
+
+    def test_malformed_line(self):
+        with pytest.raises(NetlistError, match="line 1"):
+            parse_netlist("garbage without arrow")
+
+    def test_bad_layer_tag(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("n0 X0 1,2 -> L0 3,4")
+
+    def test_bad_coordinate(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("n0 L0 1.5,2 -> L0 3,4")
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        nl = parse_netlist(SAMPLE)
+        path = tmp_path / "nets.txt"
+        write_netlist(nl, path)
+        back = read_netlist(path)
+        assert len(back) == len(nl)
+        for net in nl:
+            twin = back.by_name(net.name)
+            assert twin.source == net.source
+            assert twin.target == net.target

@@ -1,0 +1,110 @@
+"""Unit tests for pins, nets, and the netlist container."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.geometry import Point
+from repro.netlist import Net, Netlist, Pin
+
+
+class TestPin:
+    def test_fixed_pin(self):
+        pin = Pin.at(3, 4, layer=1)
+        assert pin.is_fixed
+        assert pin.primary == Point(3, 4)
+        assert pin.layer == 1
+
+    def test_multi_candidate(self):
+        pin = Pin.multi((Point(0, 0), Point(0, 1)))
+        assert not pin.is_fixed
+        assert pin.primary == Point(0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            Pin(candidates=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(NetlistError):
+            Pin(candidates=(Point(0, 0), Point(0, 0)))
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(NetlistError):
+            Pin(candidates=(Point(0, 0),), layer=-1)
+
+
+class TestNet:
+    def test_half_perimeter(self):
+        net = Net(0, "n0", Pin.at(0, 0), Pin.at(3, 4))
+        assert net.half_perimeter == 7
+
+    def test_multi_candidate_flag(self):
+        fixed = Net(0, "a", Pin.at(0, 0), Pin.at(1, 1))
+        multi = Net(1, "b", Pin.multi((Point(0, 0), Point(0, 1))), Pin.at(5, 5))
+        assert not fixed.is_multi_candidate
+        assert multi.is_multi_candidate
+
+    def test_invalid_net(self):
+        with pytest.raises(NetlistError):
+            Net(-1, "x", Pin.at(0, 0), Pin.at(1, 1))
+        with pytest.raises(NetlistError):
+            Net(0, "", Pin.at(0, 0), Pin.at(1, 1))
+
+
+class TestNetlist:
+    def _net(self, i, hp=1):
+        return Net(i, f"n{i}", Pin.at(0, 0 if i == 0 else i), Pin.at(hp, 0 if i == 0 else i))
+
+    def test_add_and_lookup(self):
+        nl = Netlist([Net(0, "a", Pin.at(0, 0), Pin.at(1, 0))])
+        assert len(nl) == 1
+        assert nl.by_id(0).name == "a"
+        assert nl.by_name("a").net_id == 0
+        assert 0 in nl
+        assert 1 not in nl
+
+    def test_duplicate_id_rejected(self):
+        nl = Netlist([Net(0, "a", Pin.at(0, 0), Pin.at(1, 0))])
+        with pytest.raises(NetlistError):
+            nl.add(Net(0, "b", Pin.at(0, 2), Pin.at(1, 2)))
+
+    def test_duplicate_name_rejected(self):
+        nl = Netlist([Net(0, "a", Pin.at(0, 0), Pin.at(1, 0))])
+        with pytest.raises(NetlistError):
+            nl.add(Net(1, "a", Pin.at(0, 2), Pin.at(1, 2)))
+
+    def test_missing_lookup(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError):
+            nl.by_id(5)
+        with pytest.raises(NetlistError):
+            nl.by_name("ghost")
+
+    def test_routing_order_shortest_first(self):
+        long_net = Net(0, "long", Pin.at(0, 0), Pin.at(30, 0))
+        short_net = Net(1, "short", Pin.at(0, 5), Pin.at(2, 5))
+        nl = Netlist([long_net, short_net])
+        assert [n.net_id for n in nl.ordered_for_routing()] == [1, 0]
+
+    def test_routing_order_tie_breaks_by_id(self):
+        a = Net(3, "a", Pin.at(0, 0), Pin.at(2, 0))
+        b = Net(1, "b", Pin.at(0, 5), Pin.at(2, 5))
+        nl = Netlist([a, b])
+        assert [n.net_id for n in nl.ordered_for_routing()] == [1, 3]
+
+    def test_total_half_perimeter(self):
+        nl = Netlist(
+            [
+                Net(0, "a", Pin.at(0, 0), Pin.at(3, 0)),
+                Net(1, "b", Pin.at(0, 5), Pin.at(0, 9)),
+            ]
+        )
+        assert nl.total_half_perimeter() == 7
+
+    def test_multi_candidate_count(self):
+        nl = Netlist(
+            [
+                Net(0, "a", Pin.at(0, 0), Pin.at(3, 0)),
+                Net(1, "b", Pin.multi((Point(0, 5), Point(1, 5))), Pin.at(0, 9)),
+            ]
+        )
+        assert nl.multi_candidate_count() == 1

@@ -1,0 +1,155 @@
+"""Property-based tests on parity union-find and color flipping."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color import Color
+from repro.core import (
+    ConstraintEdge,
+    OverlayConstraintGraph,
+    ParityUnionFind,
+    ScenarioType,
+)
+from repro.core.color_flip import brute_force_coloring, flip_colors
+from repro.errors import ColoringError
+
+NODES = list(range(8))
+
+parity_edges = st.lists(
+    st.tuples(
+        st.sampled_from(NODES), st.sampled_from(NODES), st.integers(0, 1)
+    ).filter(lambda e: e[0] != e[1]),
+    max_size=16,
+)
+
+
+class TestParityUnionFindVsNetworkx:
+    @settings(max_examples=100)
+    @given(parity_edges)
+    def test_matches_bipartiteness_oracle(self, edges):
+        """Union-find accepts the edge set iff the 'different' relation
+        graph (with same-edges contracted) is bipartite."""
+        uf = ParityUnionFind()
+        accepted = all(uf.union(u, v, p) for u, v, p in edges)
+
+        # Oracle: expand each parity-0 edge into two parity-1 edges via a
+        # dummy vertex, then check bipartiteness with networkx.
+        g = nx.Graph()
+        g.add_nodes_from(NODES)
+        for i, (u, v, p) in enumerate(edges):
+            if p == 1:
+                g.add_edge(u, v)
+            else:
+                dummy = f"d{i}"
+                g.add_edge(u, dummy)
+                g.add_edge(dummy, v)
+        assert accepted == nx.is_bipartite(g)
+
+    @settings(max_examples=60)
+    @given(parity_edges)
+    def test_relations_transitively_consistent(self, edges):
+        uf = ParityUnionFind()
+        kept = []
+        for u, v, p in edges:
+            if uf.union(u, v, p):
+                kept.append((u, v, p))
+        for u, v, p in kept:
+            assert uf.relation(u, v) == p
+
+
+soft_types = st.sampled_from(
+    [
+        ScenarioType.T2A,
+        ScenarioType.T2B,
+        ScenarioType.T3A,
+        ScenarioType.T3B,
+        ScenarioType.T3C,
+        ScenarioType.T3D,
+    ]
+)
+hard_types = st.sampled_from([ScenarioType.T1A, ScenarioType.T1B])
+any_types = st.one_of(soft_types, hard_types)
+
+graph_edges = st.lists(
+    st.tuples(
+        st.sampled_from(NODES), st.sampled_from(NODES), any_types,
+        st.booleans(), st.integers(1, 4),
+    ).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=10,
+)
+
+
+def dp_total(graph, coloring):
+    return sum(
+        e.dp_cost(coloring.get(e.u, Color.CORE), coloring.get(e.v, Color.CORE))
+        for e in graph.edges
+    )
+
+
+class TestFlipColorsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_edges)
+    def test_flip_matches_bruteforce_or_raises(self, edges):
+        """On every random graph, flip_colors either raises (hard odd
+        cycle) in exact agreement with the union-find, or returns an
+        assignment that (a) satisfies every hard edge and (b) on graphs
+        whose soft structure is a forest, reaches the brute-force optimum.
+        """
+        g = OverlayConstraintGraph()
+        offenders = g.add_edges(
+            ConstraintEdge.from_scenario(u, v, t, tip, ov)
+            for u, v, t, tip, ov in edges
+        )
+        if offenders:
+            try:
+                flip_colors(g)
+                assert False, "expected ColoringError on hard odd cycle"
+            except ColoringError:
+                return
+        colors = flip_colors(g)
+        total = dp_total(g, colors)
+        assert total < float("inf")  # no hard edge violated
+        _, best = brute_force_coloring(g, sorted(g.vertices))
+        # Never better than optimal; equal when the contracted soft
+        # structure is a forest (Theorem 4). On cyclic structures the
+        # refinement sweep may stop at a local optimum.
+        assert total >= best
+        if self._soft_structure_is_forest(g):
+            assert total == best
+
+    @staticmethod
+    def _soft_structure_is_forest(graph) -> bool:
+        uf = ParityUnionFind()
+        for e in graph.edges:
+            if e.kind.is_hard:
+                uf.union(e.u, e.v, e.parity)
+        nxg = nx.MultiGraph()
+        for e in graph.edges:
+            if e.kind.is_hard:
+                continue
+            ru, _ = uf.find(e.u)
+            rv, _ = uf.find(e.v)
+            if ru != rv:
+                nxg.add_edge(ru, rv)
+        if nxg.number_of_nodes() == 0:
+            return True
+        return nx.number_of_edges(nxg) == nxg.number_of_nodes() - len(
+            list(nx.connected_components(nxg))
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_edges)
+    def test_scope_subset_consistency(self, edges):
+        g = OverlayConstraintGraph()
+        if g.add_edges(
+            ConstraintEdge.from_scenario(u, v, t, tip, ov)
+            for u, v, t, tip, ov in edges
+        ):
+            return
+        full = flip_colors(g)
+        for vertex in sorted(g.vertices):
+            scoped = flip_colors(g, scope={vertex})
+            assert set(scoped) == g.component_of(vertex)
+        assert set(full) == set(g.vertices)

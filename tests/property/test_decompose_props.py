@@ -1,0 +1,79 @@
+"""Property-based tests on the bitmap decomposition invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.color import Color
+from repro.decompose import TargetPattern, synthesize_masks, verify_decomposition
+from repro.geometry import Rect
+from repro.rules import DesignRules
+
+RULES = DesignRules()
+PITCH = RULES.pitch
+HALF = RULES.w_line // 2
+
+track = st.integers(min_value=0, max_value=10)
+span = st.integers(min_value=1, max_value=8)
+color = st.sampled_from([Color.CORE, Color.SECOND])
+
+
+@st.composite
+def wire_layouts(draw):
+    """1-3 horizontal wires on distinct tracks (always manufacturable-ish)."""
+    count = draw(st.integers(1, 3))
+    tracks = draw(
+        st.lists(track, min_size=count, max_size=count, unique=True)
+    )
+    wires = []
+    for i, yt in enumerate(tracks):
+        x0 = draw(st.integers(0, 4))
+        run = draw(span)
+        rect = Rect(
+            x0 * PITCH - HALF,
+            yt * PITCH - HALF,
+            (x0 + run) * PITCH + HALF,
+            yt * PITCH + HALF,
+        )
+        wires.append(TargetPattern.wire(i, rect, draw(color)))
+    return wires
+
+
+class TestMaskInvariants:
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(wire_layouts())
+    def test_mask_set_is_consistent(self, wires):
+        masks = synthesize_masks(wires, RULES)
+        # Spacer never overlaps core material (it wraps it).
+        assert not (masks.spacer & masks.core_mask).any
+        # The cut mask never covers target features.
+        assert not (masks.cut_mask & masks.target_bmp).any
+        # Whatever prints is disjoint from spacer and cut by construction.
+        assert not (masks.printed & masks.spacer).any
+        assert not (masks.printed & masks.cut_mask).any
+        # Assist material is always inside the core mask (possibly merged),
+        # minus the parts clipped against second-target clearance.
+        assert not (masks.assist - masks.core_mask).any
+
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(wire_layouts())
+    def test_core_targets_always_print(self, wires):
+        masks = synthesize_masks(wires, RULES)
+        core_missing = (masks.core_targets - masks.printed).count()
+        assert core_missing == 0
+
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(wire_layouts())
+    def test_verifier_never_crashes_and_reports_sanely(self, wires):
+        report = verify_decomposition(synthesize_masks(wires, RULES))
+        assert report.missing_target_px >= 0
+        assert report.overlay.side_overlay_nm >= 0
+        assert report.overlay.tip_overlay_nm >= 0
+        # Hard overlays only exist where side overlay exists.
+        if report.overlay.hard_overlay_count:
+            assert report.overlay.side_overlay_nm > RULES.w_line

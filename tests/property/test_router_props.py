@@ -1,0 +1,86 @@
+"""Property-based fuzzing of the full routing flow.
+
+Random small netlists, one invariant set: the router never crashes, never
+commits a hard overlay or a cut conflict, colors every routed net on the
+layers it uses, and keeps the grid ownership consistent with the routes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.color import Color
+from repro.geometry import Point
+from repro.grid import CellState, RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter
+
+SIZE = 22
+
+
+@st.composite
+def netlists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    used = set()
+    nets = []
+    for i in range(count):
+        pins = []
+        for _ in range(2):
+            for _ in range(200):
+                p = Point(
+                    draw(st.integers(0, SIZE - 1)), draw(st.integers(0, SIZE - 1))
+                )
+                if p not in used:
+                    used.add(p)
+                    pins.append(p)
+                    break
+            else:
+                break
+        if len(pins) < 2 or pins[0] == pins[1]:
+            continue
+        nets.append(Net(i, f"n{i}", Pin(candidates=(pins[0],)), Pin(candidates=(pins[1],))))
+    if not nets:
+        nets = [Net(0, "n0", Pin.at(0, 0), Pin.at(5, 0))]
+    return Netlist(nets)
+
+
+class TestRouterInvariants:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(netlists())
+    def test_invariants_hold(self, nets):
+        grid = RoutingGrid(SIZE, SIZE)
+        router = SadpRouter(grid, nets)
+        result = router.route_all()
+
+        # 1. Guarantees.
+        assert result.cut_conflicts == 0
+        assert result.hard_overlays == 0
+
+        # 2. Every routed net's segments are grid-consistent.
+        for net_id, route in result.routes.items():
+            if not route.success:
+                continue
+            for seg in route.segments:
+                for p in seg.points():
+                    assert grid.owner(seg.layer, p) == net_id
+
+        # 3. Routed nets are colored on every layer they occupy.
+        for net_id, route in result.routes.items():
+            if not route.success:
+                continue
+            for layer in {seg.layer for seg in route.segments}:
+                vertices = router.graphs[layer].vertices
+                if net_id in vertices:
+                    assert net_id in result.colorings[layer]
+
+        # 4. Hard edges satisfied by the committed coloring.
+        for layer, graph in enumerate(router.graphs):
+            evaluation = graph.evaluate(router.colorings[layer])
+            assert evaluation.hard_violations == 0
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(netlists())
+    def test_merge_ablation_never_conflicts(self, nets):
+        grid = RoutingGrid(SIZE, SIZE)
+        result = SadpRouter(grid, nets, enable_merge=False).route_all()
+        assert result.cut_conflicts == 0
+        assert result.hard_overlays == 0

@@ -1,0 +1,72 @@
+"""Unit tests for cost parameters and result records."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geometry import Point, Segment
+from repro.grid import Via
+from repro.router import CostParams, NetRoute, RoutingResult
+from repro.router.cost import PAPER_PARAMS
+
+
+class TestCostParams:
+    def test_paper_defaults(self):
+        assert PAPER_PARAMS.alpha == 1.0
+        assert PAPER_PARAMS.beta == 1.0
+        assert PAPER_PARAMS.gamma == 1.5
+        assert PAPER_PARAMS.flip_threshold == 10.0
+        assert PAPER_PARAMS.max_ripup_iterations == 3
+
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            CostParams(alpha=0)
+        with pytest.raises(RoutingError):
+            CostParams(beta=-1)
+        with pytest.raises(RoutingError):
+            CostParams(max_ripup_iterations=-1)
+        with pytest.raises(RoutingError):
+            CostParams(delta_tip=-0.1)
+
+
+class TestNetRoute:
+    def test_wirelength_and_vias(self):
+        route = NetRoute(
+            net_id=0,
+            segments=[
+                Segment(0, Point(0, 0), Point(5, 0)),
+                Segment(1, Point(5, 0), Point(5, 3)),
+            ],
+            vias=[Via(0, Point(5, 0))],
+            success=True,
+        )
+        assert route.wirelength == 8
+        assert route.via_count == 1
+
+
+class TestRoutingResult:
+    def _result(self):
+        r = RoutingResult()
+        r.routes[0] = NetRoute(net_id=0, success=True,
+                               segments=[Segment(0, Point(0, 0), Point(4, 0))])
+        r.routes[1] = NetRoute(net_id=1, success=False)
+        return r
+
+    def test_routability(self):
+        r = self._result()
+        assert r.routed_count == 1
+        assert r.routability == 0.5
+
+    def test_empty_routability(self):
+        assert RoutingResult().routability == 0.0
+
+    def test_totals_skip_failed(self):
+        r = self._result()
+        assert r.total_wirelength == 4
+        assert r.total_vias == 0
+
+    def test_summary_mentions_key_figures(self):
+        r = self._result()
+        r.overlay_nm = 123.0
+        text = r.summary()
+        assert "1/2" in text
+        assert "123" in text

@@ -1,0 +1,66 @@
+"""Unit tests for routing-result persistence."""
+
+import json
+
+import pytest
+
+from repro.color import Color
+from repro.errors import RoutingError
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter, load_result, save_result
+from repro.router.io import SCHEMA_VERSION, result_from_dict, result_to_dict
+
+
+@pytest.fixture
+def routed():
+    grid = RoutingGrid(24, 24)
+    nets = Netlist(
+        [
+            Net(0, "a", Pin.at(2, 5), Pin.at(20, 5)),
+            Net(1, "b", Pin.at(2, 6), Pin.at(20, 6)),
+            Net(2, "c", Pin.at(4, 10), Pin.at(18, 16)),
+        ]
+    )
+    return SadpRouter(grid, nets).route_all()
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, routed, tmp_path):
+        path = save_result(routed, tmp_path / "r.json")
+        back = load_result(path)
+        assert back.routability == routed.routability
+        assert back.overlay_nm == routed.overlay_nm
+        assert back.cut_conflicts == routed.cut_conflicts
+        for net_id, route in routed.routes.items():
+            twin = back.routes[net_id]
+            assert twin.success == route.success
+            assert twin.segments == route.segments
+            assert twin.vias == route.vias
+
+    def test_colorings_roundtrip(self, routed, tmp_path):
+        path = save_result(routed, tmp_path / "r.json")
+        back = load_result(path)
+        assert back.colorings == routed.colorings
+
+    def test_json_is_stable(self, routed, tmp_path):
+        a = save_result(routed, tmp_path / "a.json").read_text()
+        b = save_result(routed, tmp_path / "b.json").read_text()
+        assert a == b
+
+    def test_schema_is_written(self, routed):
+        assert result_to_dict(routed)["schema"] == SCHEMA_VERSION
+
+    def test_bad_schema_rejected(self, routed):
+        data = result_to_dict(routed)
+        data["schema"] = 999
+        with pytest.raises(RoutingError):
+            result_from_dict(data)
+
+    def test_colors_serialised_as_letters(self, routed, tmp_path):
+        path = save_result(routed, tmp_path / "r.json")
+        raw = json.loads(path.read_text())
+        values = {
+            v for layer in raw["colorings"].values() for v in layer.values()
+        }
+        assert values <= {"C", "S"}

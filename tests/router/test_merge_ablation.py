@@ -1,0 +1,62 @@
+"""Unit tests for the enable_merge ablation knob (contribution 1)."""
+
+import pytest
+
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter
+
+
+def abutting_pair():
+    """Two nets whose shortest routes abut tip-to-tip on one track."""
+    return Netlist(
+        [
+            Net(0, "a", Pin.at(2, 10), Pin.at(12, 10)),
+            Net(1, "b", Pin.at(13, 10), Pin.at(22, 10)),
+        ]
+    )
+
+
+class TestMergeAblation:
+    def test_with_merge_both_route_straight(self):
+        grid = RoutingGrid(26, 26)
+        result = SadpRouter(grid, abutting_pair()).route_all()
+        assert result.routability == 1.0
+        assert result.total_ripups == 0
+        # The abutting pair merged: same color.
+        assert result.colorings[0][0] == result.colorings[0][1]
+
+    def test_without_merge_second_net_detours_or_fails(self):
+        grid = RoutingGrid(26, 26)
+        result = SadpRouter(grid, abutting_pair(), enable_merge=False).route_all()
+        route1 = result.routes[1]
+        if route1.success:
+            # Either the abutment was avoided by detouring (longer route /
+            # vias) or a rip-up happened along the way.
+            straight = 9
+            assert (
+                route1.wirelength > straight
+                or route1.via_count > 0
+                or result.total_ripups > 0
+            )
+        assert result.cut_conflicts == 0
+
+    def test_merge_flag_does_not_change_independent_nets(self):
+        nets = Netlist(
+            [
+                Net(0, "a", Pin.at(2, 5), Pin.at(20, 5)),
+                Net(1, "b", Pin.at(2, 15), Pin.at(20, 15)),
+            ]
+        )
+        with_merge = SadpRouter(RoutingGrid(26, 26), nets).route_all()
+        nets2 = Netlist(
+            [
+                Net(0, "a", Pin.at(2, 5), Pin.at(20, 5)),
+                Net(1, "b", Pin.at(2, 15), Pin.at(20, 15)),
+            ]
+        )
+        without = SadpRouter(
+            RoutingGrid(26, 26), nets2, enable_merge=False
+        ).route_all()
+        assert with_merge.total_wirelength == without.total_wirelength
+        assert with_merge.overlay_units == without.overlay_units == 0

@@ -1,0 +1,120 @@
+"""Tests for the sequential-Steiner multi-pin extension."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter
+
+
+def route(nets, size=30):
+    grid = RoutingGrid(size, size)
+    router = SadpRouter(grid, Netlist(nets))
+    return grid, router.route_all()
+
+
+class TestNetModel:
+    def test_pin_count(self):
+        net = Net(0, "t", Pin.at(0, 0), Pin.at(9, 0), taps=(Pin.at(5, 5),))
+        assert net.pin_count == 3
+
+    def test_half_perimeter_covers_taps(self):
+        net = Net(0, "t", Pin.at(0, 0), Pin.at(4, 0), taps=(Pin.at(2, 9),))
+        assert net.half_perimeter == 4 + 9
+
+    def test_multi_candidate_includes_taps(self):
+        net = Net(
+            0,
+            "t",
+            Pin.at(0, 0),
+            Pin.at(4, 0),
+            taps=(Pin.multi((Point(2, 9), Point(3, 9))),),
+        )
+        assert net.is_multi_candidate
+
+
+class TestRouting:
+    def test_three_pin_net_connected(self):
+        nets = [Net(0, "t", Pin.at(2, 10), Pin.at(20, 10), taps=(Pin.at(10, 16),))]
+        grid, result = route(nets)
+        assert result.routability == 1.0
+        route0 = result.routes[0]
+        # Tree must touch all three pins.
+        cells = {(l, p) for l, p in grid.cells_of_net(0)}
+        assert (0, Point(2, 10)) in cells
+        assert (0, Point(20, 10)) in cells
+        assert (0, Point(10, 16)) in cells
+        # Branch shares the trunk: wirelength well below three separate runs.
+        assert route0.wirelength < (18 + 6) + 14
+
+    def test_tree_is_connected(self):
+        nets = [
+            Net(
+                0,
+                "t",
+                Pin.at(2, 4),
+                Pin.at(24, 4),
+                taps=(Pin.at(6, 14), Pin.at(18, 20)),
+            )
+        ]
+        grid, result = route(nets)
+        assert result.routability == 1.0
+        # Connectivity check: BFS over the net's cells (via = same (x, y)).
+        cells = set(grid.cells_of_net(0))
+        start = next(iter(cells))
+        seen = {start}
+        stack = [start]
+        while stack:
+            layer, p = stack.pop()
+            neighbours = [
+                (layer, Point(p.x + 1, p.y)),
+                (layer, Point(p.x - 1, p.y)),
+                (layer, Point(p.x, p.y + 1)),
+                (layer, Point(p.x, p.y - 1)),
+                (layer - 1, p),
+                (layer + 1, p),
+            ]
+            for nxt in neighbours:
+                if nxt in cells and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        assert seen == cells
+
+    def test_multipin_still_conflict_free(self):
+        nets = [
+            Net(0, "t0", Pin.at(2, 8), Pin.at(22, 8), taps=(Pin.at(12, 14),)),
+            Net(1, "t1", Pin.at(2, 9), Pin.at(22, 9), taps=(Pin.at(14, 3),)),
+            Net(2, "p", Pin.at(2, 20), Pin.at(22, 20)),
+        ]
+        _, result = route(nets)
+        assert result.cut_conflicts == 0
+        assert result.hard_overlays == 0
+
+    def test_unreachable_tap_fails_whole_net(self):
+        nets = [Net(0, "t", Pin.at(2, 10), Pin.at(10, 10), taps=(Pin.at(29, 29),))]
+        grid = RoutingGrid(30, 30)
+        from repro.geometry import Rect
+
+        # Wall off the tap corner on every layer.
+        for layer in range(3):
+            grid.block(layer, Rect(25, 25, 30, 26))
+            grid.block(layer, Rect(25, 26, 26, 30))
+        router = SadpRouter(grid, Netlist(nets))
+        result = router.route_all()
+        assert not result.routes[0].success
+
+
+class TestIO:
+    def test_text_roundtrip_with_taps(self, tmp_path):
+        from repro.netlist import read_netlist, write_netlist
+        from repro.netlist.io import parse_netlist
+
+        nl = parse_netlist("t L0 1,1 -> L0 9,1 -> L0 5,8 -> L1 3,3\n")
+        net = nl.by_name("t")
+        assert len(net.taps) == 2
+        assert net.taps[1].layer == 1
+        path = tmp_path / "nets.txt"
+        write_netlist(nl, path)
+        back = read_netlist(path)
+        assert back.by_name("t").taps == net.taps

@@ -1,0 +1,128 @@
+"""Edge-case and robustness tests for the routing flow."""
+
+import pytest
+
+from repro.color import Color
+from repro.geometry import Point, Rect
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import CostParams, SadpRouter
+from repro.router.io import result_to_dict
+
+
+class TestDeterminism:
+    def test_same_input_same_result(self):
+        def run():
+            grid = RoutingGrid(28, 28)
+            nets = Netlist(
+                [
+                    Net(i, f"n{i}", Pin.at(2 + i, 4 + 2 * i), Pin.at(22, 5 + 2 * i))
+                    for i in range(6)
+                ]
+            )
+            return result_to_dict(SadpRouter(grid, nets).route_all())
+
+        a, b = run(), run()
+        a["metrics"].pop("cpu_seconds")
+        b["metrics"].pop("cpu_seconds")
+        assert a == b
+
+
+class TestBlockedEnvironments:
+    def test_pin_on_blocked_cell_fails_gracefully(self):
+        grid = RoutingGrid(20, 20)
+        grid.block(0, Rect(5, 5, 6, 6))
+        nets = Netlist([Net(0, "a", Pin.at(5, 5), Pin.at(15, 5))])
+        result = SadpRouter(grid, nets).route_all()
+        assert not result.routes[0].success
+        assert result.cut_conflicts == 0
+
+    def test_walled_region_unroutable(self):
+        grid = RoutingGrid(20, 20)
+        for layer in range(3):
+            grid.block(layer, Rect(10, 0, 11, 20))
+        nets = Netlist([Net(0, "a", Pin.at(2, 10), Pin.at(18, 10))])
+        result = SadpRouter(grid, nets).route_all()
+        assert not result.routes[0].success
+
+    def test_narrow_gap_is_found(self):
+        grid = RoutingGrid(20, 20)
+        for layer in range(3):
+            grid.block(layer, Rect(10, 0, 11, 9))
+            grid.block(layer, Rect(10, 10, 11, 20))  # gap at y=9
+        nets = Netlist([Net(0, "a", Pin.at(2, 3), Pin.at(18, 3))])
+        result = SadpRouter(grid, nets).route_all()
+        assert result.routes[0].success
+        cells = {p for _, p in grid.cells_of_net(0)}
+        assert Point(10, 9) in cells
+
+
+class TestDenseTracks:
+    def test_interleaved_bus_colors_consistent(self):
+        """Six wires on six adjacent tracks must 2-color alternately."""
+        grid = RoutingGrid(30, 30)
+        nets = Netlist(
+            [Net(i, f"b{i}", Pin.at(2, 10 + i), Pin.at(26, 10 + i)) for i in range(6)]
+        )
+        result = SadpRouter(grid, nets).route_all()
+        assert result.routability == 1.0
+        colors = [result.colorings[0][i] for i in range(6)]
+        for a, b in zip(colors, colors[1:]):
+            assert a != b
+        assert result.overlay_units == 0
+        assert result.hard_overlays == 0
+
+    def test_crossing_buses_on_different_layers(self):
+        grid = RoutingGrid(30, 30)
+        nets = [
+            Net(i, f"h{i}", Pin.at(2, 8 + i), Pin.at(26, 8 + i)) for i in range(3)
+        ]
+        # Vertical nets must use M2; their pins are on M1.
+        nets += [
+            Net(3 + i, f"v{i}", Pin.at(8 + 2 * i, 2), Pin.at(8 + 2 * i, 26))
+            for i in range(3)
+        ]
+        result = SadpRouter(grid, Netlist(nets)).route_all()
+        assert result.routability == 1.0
+        assert result.cut_conflicts == 0
+
+
+class TestParams:
+    def test_zero_ripups_budget(self):
+        grid = RoutingGrid(24, 24)
+        nets = Netlist([Net(0, "a", Pin.at(2, 5), Pin.at(20, 5))])
+        params = CostParams(max_ripup_iterations=0)
+        result = SadpRouter(grid, nets, params=params).route_all()
+        assert result.routability == 1.0
+
+    def test_aggressive_gamma_diverts_from_tip_gaps(self):
+        grid = RoutingGrid(24, 24)
+        # A reserved pin pair sits two tracks ahead on the straight path.
+        nets = Netlist(
+            [
+                Net(0, "blockish", Pin.at(12, 5), Pin.at(13, 5)),
+                Net(1, "mover", Pin.at(2, 5), Pin.at(22, 5)),
+            ]
+        )
+        result = SadpRouter(
+            grid, nets, params=CostParams(gamma=50.0)
+        ).route_all()
+        assert result.routability == 1.0
+        # The mover leaves the track instead of stopping 2 cells short.
+        mover_cells = {p for l, p in grid.cells_of_net(1) if l == 0}
+        assert Point(10, 5) not in mover_cells or Point(15, 5) not in mover_cells
+
+
+class TestEviction:
+    def test_eviction_preserves_both_nets_when_possible(self):
+        """A pin-trapped net evicts its blocker; both end up routed."""
+        grid = RoutingGrid(26, 26)
+        # Long net routed first would trap the short net's pins region.
+        nets = Netlist(
+            [
+                Net(0, "short", Pin.at(10, 10), Pin.at(12, 10)),
+                Net(1, "long", Pin.at(2, 10), Pin.at(24, 10)),
+            ]
+        )
+        result = SadpRouter(grid, nets).route_all()
+        assert result.routes[0].success and result.routes[1].success

@@ -1,0 +1,65 @@
+"""Tests for the routing-event trace."""
+
+import pytest
+
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter
+from repro.router.trace import RouterTrace
+
+
+@pytest.fixture
+def traced_run():
+    grid = RoutingGrid(26, 26)
+    nets = Netlist(
+        [
+            Net(0, "a", Pin.at(2, 5), Pin.at(20, 5)),
+            Net(1, "b", Pin.at(2, 6), Pin.at(20, 6)),
+            Net(2, "c", Pin.at(4, 10), Pin.at(18, 16)),
+        ]
+    )
+    router = SadpRouter(grid, nets)
+    trace = RouterTrace(router)
+    result = router.route_all()
+    return trace, result
+
+
+class TestTrace:
+    def test_route_events_bracket_every_net(self, traced_run):
+        trace, result = traced_run
+        # rescue/repair may re-route, so starts >= nets.
+        assert trace.count("route_start") >= len(result.routes)
+        assert trace.count("route_start") == trace.count("route_end")
+
+    def test_end_events_carry_outcome(self, traced_run):
+        trace, result = traced_run
+        ends = [e for e in trace.events if e.kind == "route_end"]
+        for event in ends:
+            assert "success" in event.details
+            assert "wirelength" in event.details
+
+    def test_of_net_filters(self, traced_run):
+        trace, _ = traced_run
+        events = trace.of_net(0)
+        assert events
+        assert all(e.net_id == 0 for e in events)
+
+    def test_text_rendering(self, traced_run):
+        trace, _ = traced_run
+        text = trace.to_text()
+        assert "Routing trace" in text
+        assert "totals:" in text
+
+    def test_text_limit(self, traced_run):
+        trace, _ = traced_run
+        text = trace.to_text(limit=2)
+        assert "more events" in text
+
+    def test_ripup_reasons_shape(self):
+        grid = RoutingGrid(26, 26)
+        router = SadpRouter(grid, Netlist([Net(0, "a", Pin.at(2, 5), Pin.at(20, 5))]))
+        trace = RouterTrace(router)
+        router.route_all()
+        reasons = trace.ripup_reasons()
+        assert isinstance(reasons, dict)
+        assert all(isinstance(v, int) for v in reasons.values())

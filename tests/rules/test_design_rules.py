@@ -1,0 +1,78 @@
+"""Unit tests for the SADP design-rule set (Eqs. 1-3)."""
+
+import math
+
+import pytest
+
+from repro.errors import DesignRuleError
+from repro.rules import DesignRules
+from repro.rules.design_rules import PAPER_10NM_RULES
+
+
+class TestValidation:
+    def test_default_is_the_paper_rule_set(self):
+        r = DesignRules()
+        assert (r.w_line, r.w_spacer, r.w_cut, r.w_core) == (20, 20, 20, 20)
+        assert (r.d_cut, r.d_core) == (30, 30)
+
+    def test_eq1_w_line_equals_w_spacer(self):
+        with pytest.raises(DesignRuleError, match="Eq..1."):
+            DesignRules(w_line=20, w_spacer=25)
+
+    def test_eq2_cut_equals_core_width(self):
+        with pytest.raises(DesignRuleError, match="Eq..2."):
+            DesignRules(w_cut=20, w_core=25)
+
+    def test_eq2_cut_distance_equals_core_distance(self):
+        with pytest.raises(DesignRuleError, match="Eq..2."):
+            DesignRules(d_cut=30, d_core=35)
+
+    def test_eq2_width_strictly_below_distance(self):
+        with pytest.raises(DesignRuleError, match="Eq..2."):
+            DesignRules(w_cut=30, w_core=30, d_cut=30, d_core=30)
+
+    def test_eq3_overlap_bound(self):
+        # d_core must be < w_line + 2*w_spacer - 2*d_overlap = 60 - 2*d_overlap.
+        with pytest.raises(DesignRuleError, match="Eq..3."):
+            DesignRules(d_overlap=15)
+        DesignRules(d_overlap=14)  # 60 - 28 = 32 > 30: fine
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(DesignRuleError):
+            DesignRules(w_line=0, w_spacer=0)
+        with pytest.raises(DesignRuleError):
+            DesignRules(d_overlap=-1)
+
+
+class TestDerived:
+    def test_pitch(self, rules):
+        assert rules.pitch == 40
+
+    def test_d_indep_theorem_1(self, rules):
+        assert rules.d_indep == pytest.approx(math.sqrt(2) * 60)
+
+    def test_d_indep_tracks(self, rules):
+        assert rules.d_indep_tracks == 3
+
+    def test_overlay_unit(self, rules):
+        assert rules.overlay_unit_nm == rules.w_line
+
+    def test_mergeable_core_gap(self, rules):
+        assert rules.mergeable_core_gap(0)
+        assert rules.mergeable_core_gap(29)
+        assert not rules.mergeable_core_gap(30)
+        assert not rules.mergeable_core_gap(-5)
+
+    def test_scaled_preserves_validity(self, rules):
+        doubled = rules.scaled(2)
+        assert doubled.pitch == 80
+        assert doubled.d_core == 60
+        with pytest.raises(DesignRuleError):
+            rules.scaled(0)
+
+    def test_paper_constant_is_default(self):
+        assert PAPER_10NM_RULES == DesignRules()
+
+    def test_frozen(self, rules):
+        with pytest.raises(Exception):
+            rules.w_line = 10

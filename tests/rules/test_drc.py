@@ -1,0 +1,50 @@
+"""Unit tests for the polygon-level DRC checks."""
+
+from repro.geometry import Rect
+from repro.rules import check_min_spacing, check_min_width
+
+
+class TestMinWidth:
+    def test_wide_shapes_pass(self):
+        assert check_min_width([Rect(0, 0, 100, 20)], 20) == []
+
+    def test_narrow_flagged(self):
+        v = check_min_width([Rect(0, 0, 100, 15)], 20)
+        assert len(v) == 1
+        assert v[0].rule == "min_width"
+        assert v[0].value == 15
+        assert v[0].limit == 20
+
+    def test_short_side_is_checked(self):
+        assert check_min_width([Rect(0, 0, 15, 100)], 20)
+
+
+class TestMinSpacing:
+    def test_far_apart_pass(self):
+        shapes = [Rect(0, 0, 20, 20), Rect(60, 0, 80, 20)]
+        assert check_min_spacing(shapes, 30) == []
+
+    def test_close_pair_flagged(self):
+        shapes = [Rect(0, 0, 20, 20), Rect(40, 0, 60, 20)]
+        v = check_min_spacing(shapes, 30)
+        assert len(v) == 1
+        assert v[0].value == 20
+
+    def test_diagonal_euclidean(self):
+        # Corner gap sqrt(20^2 + 20^2) ~ 28.3 < 30.
+        shapes = [Rect(0, 0, 20, 20), Rect(40, 40, 60, 60)]
+        assert check_min_spacing(shapes, 30)
+        # ... but passes a 28 nm rule.
+        assert check_min_spacing(shapes, 28) == []
+
+    def test_touching_shapes_are_one_pattern(self):
+        shapes = [Rect(0, 0, 20, 20), Rect(20, 0, 40, 20)]
+        assert check_min_spacing(shapes, 30) == []
+
+    def test_restrict_to_filters_by_region(self):
+        shapes = [Rect(0, 0, 20, 20), Rect(40, 0, 60, 20)]
+        # Violation region is the 20..40 gap band.
+        inside = [Rect(25, 5, 35, 15)]
+        outside = [Rect(100, 100, 120, 120)]
+        assert check_min_spacing(shapes, 30, restrict_to=inside)
+        assert check_min_spacing(shapes, 30, restrict_to=outside) == []

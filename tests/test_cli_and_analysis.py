@@ -1,0 +1,130 @@
+"""Tests for the CLI and the analysis/report module."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze, breakdown_by_scenario
+from repro.cli import build_parser, main
+from repro.grid import RoutingGrid
+from repro.netlist import Net, Netlist, Pin
+from repro.router import SadpRouter
+
+NETLIST_TEXT = """\
+a L0 2,10 -> L0 20,10
+b L0 2,11 -> L0 20,11
+c L0 21,10 -> L0 27,10
+"""
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "nets.txt"
+    path.write_text(NETLIST_TEXT)
+    return path
+
+
+class TestCli:
+    def test_route_basic(self, netlist_file, capsys):
+        rc = main(["route", str(netlist_file), "--width", "30", "--height", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "routed 3/3" in out
+        assert "0 cut conflicts" in out
+
+    def test_route_artifacts(self, netlist_file, tmp_path, capsys):
+        out_json = tmp_path / "r.json"
+        out_svg = tmp_path / "r.svg"
+        rc = main(
+            [
+                "route",
+                str(netlist_file),
+                "--width",
+                "30",
+                "--height",
+                "30",
+                "--out",
+                str(out_json),
+                "--svg",
+                str(out_svg),
+                "--report",
+            ]
+        )
+        assert rc == 0
+        assert json.loads(out_json.read_text())["schema"] == 1
+        assert out_svg.read_text().startswith("<svg")
+        assert "Routing report" in capsys.readouterr().out
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "1-a" in out and "3-e" in out
+
+    def test_bench_command(self, capsys):
+        assert main(["bench", "Test1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Test1" in out and "ours" in out
+
+    def test_bench_baseline(self, capsys):
+        assert main(["bench", "Test1", "--scale", "0.1", "--router", "gao-pan"]) == 0
+        assert "gao-pan" in capsys.readouterr().out
+
+    def test_unknown_circuit_errors(self, capsys):
+        assert main(["bench", "Test42"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_has_version(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestAnalysis:
+    @pytest.fixture
+    def routed(self):
+        grid = RoutingGrid(26, 26)
+        nets = Netlist(
+            [
+                Net(0, "a", Pin.at(2, 5), Pin.at(20, 5)),
+                Net(1, "b", Pin.at(2, 6), Pin.at(20, 6)),
+                Net(2, "c", Pin.at(2, 8), Pin.at(20, 8)),
+            ]
+        )
+        router = SadpRouter(grid, nets)
+        return router, router.route_all()
+
+    def test_report_counts(self, routed):
+        router, result = routed
+        report = analyze(router, result)
+        assert report.num_nets == 3
+        assert report.routed == 3
+        assert report.total_wirelength == result.total_wirelength
+        assert report.scenario_census.get("1-a") == 1
+        assert report.scenario_census.get("2-a") == 1
+
+    def test_color_census(self, routed):
+        router, result = routed
+        report = analyze(router, result)
+        m1 = report.colors_per_layer[0]
+        assert m1.get("C", 0) + m1.get("S", 0) == 3
+
+    def test_text_rendering(self, routed):
+        router, result = routed
+        text = analyze(router, result).to_text()
+        assert "Routing report" in text
+        assert "scenario census" in text
+        assert "mask color census" in text
+
+    def test_breakdown_matches_result_total(self, routed):
+        router, result = routed
+        breakdown = breakdown_by_scenario(router)
+        assert breakdown.total_units == pytest.approx(result.overlay_units)
+
+    def test_dominant_scenario(self, routed):
+        router, result = routed
+        breakdown = breakdown_by_scenario(router)
+        if breakdown.units_by_scenario:
+            assert breakdown.dominant() in breakdown.units_by_scenario
+        else:
+            assert breakdown.dominant() == "-"

@@ -1,0 +1,95 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ColoringError,
+    DecompositionError,
+    DesignRuleError,
+    GeometryError,
+    GridError,
+    NetlistError,
+    ReproError,
+    RoutingError,
+)
+
+ALL_ERRORS = [
+    GeometryError,
+    DesignRuleError,
+    GridError,
+    NetlistError,
+    RoutingError,
+    ColoringError,
+    DecompositionError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_subclasses_are_distinct(self):
+        assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)
+
+
+class TestRaisingSites:
+    """Each subsystem raises its own error family (spot checks)."""
+
+    def test_geometry(self):
+        from repro.geometry import Rect
+
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 0)
+
+    def test_rules(self):
+        from repro.rules import DesignRules
+
+        with pytest.raises(DesignRuleError):
+            DesignRules(w_line=10, w_spacer=20)
+
+    def test_grid(self):
+        from repro.geometry import Point
+        from repro.grid import RoutingGrid
+
+        with pytest.raises(GridError):
+            RoutingGrid(5, 5).owner(0, Point(9, 9))
+
+    def test_netlist(self):
+        from repro.netlist import Pin
+
+        with pytest.raises(NetlistError):
+            Pin(candidates=())
+
+    def test_routing(self):
+        from repro.router import CostParams
+
+        with pytest.raises(RoutingError):
+            CostParams(alpha=-1)
+
+    def test_coloring(self):
+        from repro.core import ConstraintEdge, OverlayConstraintGraph, ScenarioType
+        from repro.core.color_flip import flip_colors
+
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                ConstraintEdge.from_scenario(0, 1, ScenarioType.T1A),
+                ConstraintEdge.from_scenario(1, 2, ScenarioType.T1A),
+                ConstraintEdge.from_scenario(2, 0, ScenarioType.T1A),
+            ]
+        )
+        with pytest.raises(ColoringError):
+            flip_colors(g)
+
+    def test_decomposition(self):
+        from repro.decompose.masks import default_window
+        from repro.rules import DesignRules
+
+        with pytest.raises(DecompositionError):
+            default_window([], DesignRules())
