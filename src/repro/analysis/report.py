@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
+from .. import obs
+from ..obs.export import phase_totals
 from ..color import Color
 from ..core.scenarios import HARD, ScenarioType
 from ..router.result import RoutingResult
@@ -51,6 +53,9 @@ class RoutingReport:
     overlay: OverlayBreakdown
     scenario_census: Dict[str, int]
     colors_per_layer: Dict[int, Dict[str, int]]
+    #: Live-registry digest (phase seconds + key counters); None when
+    #: observability was off during the run.
+    instrumentation: Optional[Dict[str, Any]] = None
 
     def to_text(self) -> str:
         lines = [
@@ -82,6 +87,16 @@ class RoutingReport:
             core = census.get("C", 0)
             second = census.get("S", 0)
             lines.append(f"  M{layer + 1}: {core} core / {second} second")
+        if self.instrumentation:
+            lines.append("")
+            lines.append("instrumentation:")
+            phases = self.instrumentation.get("phase_seconds", {})
+            for phase, seconds in sorted(phases.items()):
+                lines.append(f"  {phase + '_s':24s} {seconds:10.4f}")
+            for name, value in sorted(
+                self.instrumentation.get("counters", {}).items()
+            ):
+                lines.append(f"  {name:24s} {value:10.0f}")
         return "\n".join(lines)
 
 
@@ -105,8 +120,37 @@ def breakdown_by_scenario(router: SadpRouter) -> OverlayBreakdown:
     return breakdown
 
 
+def _instrumentation_digest() -> Optional[Dict[str, Any]]:
+    """Phase timings and headline counters from the live registry."""
+    ob = obs.get_active()
+    if ob is None:
+        return None
+    counters = {
+        name: ob.registry.total(name)
+        for name in (
+            "astar_nodes_expanded_total",
+            "astar_searches_total",
+            "ripups_total",
+            "color_flips_total",
+            "ocg_edges_added_total",
+            "ocg_odd_cycle_hits_total",
+            "uf_find_ops_total",
+            "uf_union_ops_total",
+        )
+        if ob.registry.total(name)
+    }
+    return {
+        "phase_seconds": {k: v for k, v in phase_totals(ob).items() if v},
+        "counters": counters,
+    }
+
+
 def analyze(router: SadpRouter, result: RoutingResult) -> RoutingReport:
-    """Build the full report for a finished run."""
+    """Build the full report for a finished run.
+
+    When observability is enabled, the report additionally carries an
+    instrumentation digest (per-phase seconds and headline counters).
+    """
     routed = [r for r in result.routes.values() if r.success]
     census: Counter = Counter()
     for layer, graph in enumerate(router.graphs):
@@ -131,4 +175,5 @@ def analyze(router: SadpRouter, result: RoutingResult) -> RoutingReport:
         overlay=breakdown_by_scenario(router),
         scenario_census=dict(census),
         colors_per_layer=colors_per_layer,
+        instrumentation=_instrumentation_digest(),
     )

@@ -10,9 +10,9 @@ the pricing model (trim vs. cut semantics) and the candidate handling
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..color import Color
 from ..core.scenario_detect import DetectedScenario, ScenarioDetector, ShapeRecord
 from ..geometry import Point, Segment
@@ -89,16 +89,20 @@ class BaselineRouterBase:
     # ------------------------------------------------------------------ #
 
     def route_all(self) -> RoutingResult:
-        start = time.perf_counter()
-        result = RoutingResult()
-        for net in self.netlist.ordered_for_routing():
-            result.routes[net.net_id] = self.route_net(net)
-        result.colorings = {
-            layer: dict(coloring) for layer, coloring in enumerate(self.colorings)
-        }
-        self.collect_metrics(result)
-        result.total_ripups = sum(r.ripups for r in result.routes.values())
-        result.cpu_seconds = time.perf_counter() - start
+        # Same stopwatch-span timing as SadpRouter.route_all, so baseline
+        # runs land in the same run log with comparable cpu_seconds.
+        with obs.stopwatch("route_all", nets=len(self.netlist)) as sw:
+            result = RoutingResult()
+            for net in self.netlist.ordered_for_routing():
+                with obs.span("route_net", net_id=net.net_id):
+                    result.routes[net.net_id] = self.route_net(net)
+            result.colorings = {
+                layer: dict(coloring)
+                for layer, coloring in enumerate(self.colorings)
+            }
+            self.collect_metrics(result)
+            result.total_ripups = sum(r.ripups for r in result.routes.values())
+        result.cpu_seconds = sw.duration_s
         return result
 
     def route_net(self, net: Net) -> NetRoute:

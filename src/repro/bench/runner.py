@@ -1,10 +1,18 @@
-"""Run routers on benchmarks and collect the tables' columns."""
+"""Run routers on benchmarks and collect the tables' columns.
+
+With observability enabled (``repro.obs.enable()`` or the CLI's
+``--metrics`` / ``--trace``), each row also carries the per-phase runtime
+split (A* search vs. constraint-graph maintenance vs. color flipping)
+measured by the span tracer, and the table grows the matching columns —
+the per-stage breakdown the TRIAD/TPL papers report.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from ..obs.export import phase_totals
 from ..router import SadpRouter
 from ..router.result import RoutingResult
 from .workloads import BenchmarkSpec, generate_benchmark
@@ -24,6 +32,10 @@ class BenchRow:
     cpu_s: float
     wirelength: int = 0
     vias: int = 0
+    #: Per-phase runtime split (zero when observability is off).
+    search_s: float = 0.0
+    graph_s: float = 0.0
+    flip_s: float = 0.0
 
     @classmethod
     def from_result(
@@ -42,14 +54,29 @@ class BenchRow:
             vias=result.total_vias,
         )
 
+    @property
+    def has_phases(self) -> bool:
+        return (self.search_s + self.graph_s + self.flip_s) > 0.0
+
+
+def _fill_phases(row: BenchRow, before: Dict[str, float]) -> BenchRow:
+    """Attach the tracer's phase deltas accumulated during one run."""
+    after = phase_totals()
+    if after:
+        row.search_s = after.get("search", 0.0) - before.get("search", 0.0)
+        row.graph_s = after.get("graph", 0.0) - before.get("graph", 0.0)
+        row.flip_s = after.get("flip", 0.0) - before.get("flip", 0.0)
+    return row
+
 
 def run_proposed(
     spec: BenchmarkSpec, scale: float = 1.0, seed: int = 2014, **router_kwargs
 ) -> BenchRow:
     """Route a benchmark with the proposed overlay-aware router."""
     grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    before = phase_totals()
     result = SadpRouter(grid, nets, **router_kwargs).route_all()
-    return BenchRow.from_result(spec.name, "ours", result)
+    return _fill_phases(BenchRow.from_result(spec.name, "ours", result), before)
 
 
 def run_baseline(
@@ -67,27 +94,39 @@ def run_baseline(
     saw, so rows are directly comparable.
     """
     grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    before = phase_totals()
     result = router_factory(grid, nets, **kwargs).route_all()
-    return BenchRow.from_result(spec.name, label, result)
+    return _fill_phases(BenchRow.from_result(spec.name, label, result), before)
 
 
 def rows_to_table(rows: List[BenchRow], caption: str = "") -> str:
-    """Format rows like the paper's tables (grouped by circuit)."""
+    """Format rows like the paper's tables (grouped by circuit).
+
+    Rows carrying per-phase timings grow search/graph/flip columns; the
+    base layout is unchanged otherwise, so untimed tables print exactly
+    as before.
+    """
+    with_phases = any(row.has_phases for row in rows)
     header = (
         f"{'Circuit':8s} {'Router':10s} {'#Net':>6s} {'Rout.%':>7s} "
         f"{'Overlay(nm)':>12s} {'Units':>8s} {'#C':>5s} {'CPU(s)':>8s}"
     )
+    if with_phases:
+        header += f" {'search(s)':>10s} {'graph(s)':>9s} {'flip(s)':>8s}"
     lines = []
     if caption:
         lines.append(caption)
     lines.append(header)
     lines.append("-" * len(header))
     for row in rows:
-        lines.append(
+        line = (
             f"{row.circuit:8s} {row.router:10s} {row.num_nets:6d} "
             f"{row.routability_pct:7.1f} {row.overlay_nm:12.0f} "
             f"{row.overlay_units:8.0f} {row.conflicts:5d} {row.cpu_s:8.2f}"
         )
+        if with_phases:
+            line += f" {row.search_s:10.4f} {row.graph_s:9.4f} {row.flip_s:8.4f}"
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -30,13 +30,45 @@ from . import __version__
 from .errors import ReproError
 
 
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable observability when ``--metrics`` / ``--trace`` ask for it."""
+    wants = bool(getattr(args, "metrics", False) or getattr(args, "trace", None))
+    if wants:
+        from . import obs
+
+        obs.enable()
+    return wants
+
+
+def _obs_finish(args: argparse.Namespace, router_trace=None, **meta) -> None:
+    """Print the summary table and/or export the JSONL run log, then
+    switch observability back off."""
+    from . import obs
+
+    try:
+        if getattr(args, "metrics", False):
+            ob = obs.get_active()
+            print()
+            print(obs.phase_table())
+            if ob is not None:
+                print()
+                print(ob.registry.to_text())
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            path = obs.export_run_jsonl(trace_path, router_trace=router_trace, meta=meta)
+            print(f"run log written to {path}")
+    finally:
+        obs.disable()
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     from .analysis import analyze
     from .grid import RoutingGrid, default_layer_stack
     from .netlist import read_design
-    from .router import SadpRouter, save_result
+    from .router import RouterTrace, SadpRouter, save_result
     from .viz import render_routing_svg
 
+    observing = _obs_begin(args)
     blockages, netlist = read_design(args.netlist)
     grid = RoutingGrid(
         width=args.width,
@@ -48,6 +80,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         for l in targets:
             grid.block(l, rect)
     router = SadpRouter(grid, netlist)
+    trace = RouterTrace(router) if args.trace else None
     result = router.route_all()
     print(result.summary())
     if args.report:
@@ -59,6 +92,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.svg:
         path = render_routing_svg(grid, result.colorings, args.svg, layer=args.svg_layer)
         print(f"layer M{args.svg_layer + 1} rendered to {path}")
+    if observing:
+        _obs_finish(args, router_trace=trace, command="route", netlist=args.netlist)
     return 0 if result.cut_conflicts == 0 else 1
 
 
@@ -67,6 +102,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import run_baseline, run_proposed, rows_to_table
     from .bench.workloads import spec_by_name
 
+    observing = _obs_begin(args)
     spec = spec_by_name(args.circuit)
     if args.router == "ours":
         row = run_proposed(spec, scale=args.scale, seed=args.seed)
@@ -78,6 +114,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         }[args.router]
         row = run_baseline(factory, args.router, spec, scale=args.scale, seed=args.seed)
     print(rows_to_table([row], caption=f"{spec.name} @ scale {args.scale}"))
+    if observing:
+        _obs_finish(
+            args,
+            command="bench",
+            circuit=spec.name,
+            scale=args.scale,
+            router=args.router,
+        )
+    return 0
+
+
+def _cmd_validate_trace(args: argparse.Namespace) -> int:
+    from .obs import validate_run_jsonl
+
+    problems = validate_run_jsonl(args.logfile)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.logfile}: INVALID ({len(problems)} problems)", file=sys.stderr)
+        return 1
+    print(f"{args.logfile}: OK")
     return 0
 
 
@@ -108,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--svg", help="render a routed layer as SVG")
     route.add_argument("--svg-layer", type=int, default=0, help="layer to render")
     route.add_argument("--report", action="store_true", help="print the full analysis report")
+    _add_obs_flags(route)
     route.set_defaults(func=_cmd_route)
 
     bench = sub.add_parser("bench", help="run a paper benchmark")
@@ -120,11 +178,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="ours",
         help="which router to run",
     )
+    _add_obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
 
     scen = sub.add_parser("scenarios", help="print the Table II color rules")
     scen.set_defaults(func=_cmd_scenarios)
+
+    validate = sub.add_parser(
+        "validate-trace", help="check a JSONL run log against the schema"
+    )
+    validate.add_argument("logfile", help="run log written by --trace")
+    validate.set_defaults(func=_cmd_validate_trace)
     return parser
+
+
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable observability and print the per-phase timing table",
+    )
+    sub_parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="enable observability and write the merged JSONL run log",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

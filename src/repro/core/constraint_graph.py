@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .. import obs
 from ..color import Color
 from .edges import ConstraintEdge, EdgeKind
 from .odd_cycle import ParityUnionFind
@@ -41,6 +42,13 @@ class OverlayConstraintGraph:
         self._incident: Dict[int, List[ConstraintEdge]] = defaultdict(list)
         self._hard_uf = ParityUnionFind()
         self._vertices: Set[int] = set()
+        # Union-find op accounting across rebuilds (retired = ops made by
+        # union-finds that were since thrown away; published = what the
+        # metrics registry has already been told).
+        self._uf_retired_finds = 0
+        self._uf_retired_unions = 0
+        self._uf_published_finds = 0
+        self._uf_published_unions = 0
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -74,15 +82,24 @@ class OverlayConstraintGraph:
         lines 4-9): update, check, rip-up on violation.
         """
         offenders: List[ConstraintEdge] = []
+        ob = obs.get_active()
         for edge in edges:
             self._edges.append(edge)
             self._incident[edge.u].append(edge)
             self._incident[edge.v].append(edge)
             self._vertices.add(edge.u)
             self._vertices.add(edge.v)
+            if ob is not None:
+                ob.registry.counter(
+                    "ocg_edges_added_total", kind=edge.kind.value
+                ).inc()
             if edge.kind.is_hard:
                 if not self._hard_uf.union(edge.u, edge.v, edge.parity):
                     offenders.append(edge)
+                    if ob is not None:
+                        ob.registry.counter("ocg_odd_cycle_hits_total").inc()
+        if ob is not None:
+            self._flush_uf_stats(ob)
         return offenders
 
     def remove_net(self, net_id: int) -> int:
@@ -108,10 +125,31 @@ class OverlayConstraintGraph:
         return len(incident)
 
     def _rebuild_hard_uf(self) -> None:
+        self._uf_retired_finds += self._hard_uf.find_ops
+        self._uf_retired_unions += self._hard_uf.union_ops
         self._hard_uf = ParityUnionFind()
         for edge in self._edges:
             if edge.kind.is_hard:
                 self._hard_uf.union(edge.u, edge.v, edge.parity)
+        ob = obs.get_active()
+        if ob is not None:
+            ob.registry.counter("ocg_uf_rebuilds_total").inc()
+            self._flush_uf_stats(ob)
+
+    def _flush_uf_stats(self, ob) -> None:
+        """Publish union-find op deltas since the last flush."""
+        finds = self._uf_retired_finds + self._hard_uf.find_ops
+        unions = self._uf_retired_unions + self._hard_uf.union_ops
+        if finds > self._uf_published_finds:
+            ob.registry.counter("uf_find_ops_total").inc(
+                finds - self._uf_published_finds
+            )
+            self._uf_published_finds = finds
+        if unions > self._uf_published_unions:
+            ob.registry.counter("uf_union_ops_total").inc(
+                unions - self._uf_published_unions
+            )
+            self._uf_published_unions = unions
 
     # ------------------------------------------------------------------ #
     # Hard-constraint queries

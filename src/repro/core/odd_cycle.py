@@ -26,6 +26,11 @@ class ParityUnionFind:
         self._parent: Dict[Hashable, Hashable] = {}
         self._rank: Dict[Hashable, int] = {}
         self._parity: Dict[Hashable, int] = {}  # parity to parent
+        #: Lifetime operation tallies — plain ints so the hot path never
+        #: touches the observability layer; the constraint graph flushes
+        #: deltas into the metrics registry when one is live.
+        self.find_ops = 0
+        self.union_ops = 0
 
     def add(self, x: Hashable) -> None:
         if x not in self._parent:
@@ -41,6 +46,7 @@ class ParityUnionFind:
 
     def find(self, x: Hashable) -> Tuple[Hashable, int]:
         """(root, parity of x relative to root), with path compression."""
+        self.find_ops += 1
         self.add(x)
         root = x
         parity = 0
@@ -78,6 +84,7 @@ class ParityUnionFind:
         """
         if parity not in (0, 1):
             raise ValueError(f"parity must be 0 or 1, got {parity}")
+        self.union_ops += 1
         ru, pu = self.find(u)
         rv, pv = self.find(v)
         if ru == rv:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..color import Color
 from ..errors import DecompositionError
 from ..geometry import Rect
@@ -182,6 +183,17 @@ def synthesize_masks(
 ) -> MaskSet:
     """Run the full cut-process decomposition for a colored layout window."""
     targets = list(targets)
+    with obs.span("synthesize_masks", targets=len(targets)):
+        obs.counter_inc("mask_syntheses_total")
+        return _synthesize_masks(targets, rules, window, resolution)
+
+
+def _synthesize_masks(
+    targets: List[TargetPattern],
+    rules: DesignRules,
+    window: Optional[Rect],
+    resolution: int,
+) -> MaskSet:
     if window is None:
         window = default_window(targets, rules)
 

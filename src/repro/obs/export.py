@@ -1,0 +1,251 @@
+"""JSONL run-log export, validation, and the per-phase runtime table.
+
+One run log is a JSON-Lines file merging three event streams:
+
+* ``{"type": "meta", ...}`` — exactly one, the first line: schema
+  version, tool version, plus caller-supplied run context.
+* ``{"type": "span", ...}`` — one per finished tracer span.
+* ``{"type": "metric", ...}`` — one per registry instrument (snapshot
+  taken at export time).
+* ``{"type": "router_event", ...}`` — one per :class:`RouterTrace`
+  event, when a trace is supplied.
+
+The format is documented in ``docs/OBSERVABILITY.md``;
+:func:`validate_run_jsonl` enforces it (CI's smoke job runs it against a
+freshly routed trace).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+SCHEMA_VERSION = 1
+
+#: (phase label, span names folded into it) — the bench/report breakdown.
+PHASE_SPANS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("search", ("astar_search",)),
+    ("graph", ("ocg_update",)),
+    ("flip", ("pseudo_color", "color_flip")),
+    ("decompose", ("synthesize_masks",)),
+)
+
+
+def _backend(observability):
+    if observability is not None:
+        return observability
+    from . import get_active
+
+    return get_active()
+
+
+def export_run_jsonl(
+    path: Union[str, Path],
+    observability=None,
+    router_trace=None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the merged run log; returns the path written.
+
+    ``observability`` defaults to the active backend; passing neither an
+    explicit backend nor having one enabled still produces a valid (if
+    span/metric-empty) log, so callers need no conditional plumbing.
+    """
+    ob = _backend(observability)
+    path = Path(path)
+    lines: List[Dict[str, Any]] = []
+
+    from .. import __version__
+
+    head: Dict[str, Any] = {
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "tool": "repro",
+        "version": __version__,
+    }
+    if meta:
+        head.update(meta)
+    lines.append(head)
+
+    if ob is not None:
+        for sp in ob.tracer.finished:
+            record = sp.to_dict()
+            record["type"] = "span"
+            lines.append(record)
+        for entry in ob.registry.snapshot():
+            record = dict(entry)
+            record["type"] = "metric"
+            lines.append(record)
+
+    if router_trace is not None:
+        for event in router_trace.events:
+            lines.append(
+                {
+                    "type": "router_event",
+                    "kind": event.kind,
+                    "net_id": event.net_id,
+                    "details": event.details,
+                }
+            )
+
+    with path.open("w", encoding="utf-8") as fh:
+        for record in lines:
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Validation
+# ---------------------------------------------------------------------- #
+
+_METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def _check_span(record: Dict[str, Any], where: str, errors: List[str]) -> None:
+    for key, types in (
+        ("name", str),
+        ("span_id", int),
+        ("start_s", (int, float)),
+        ("duration_s", (int, float)),
+        ("attrs", dict),
+    ):
+        if not isinstance(record.get(key), types):
+            errors.append(f"{where}: span field {key!r} missing or mistyped")
+    parent = record.get("parent_id")
+    if parent is not None and not isinstance(parent, int):
+        errors.append(f"{where}: span parent_id must be int or null")
+    end = record.get("end_s")
+    if end is not None and not isinstance(end, (int, float)):
+        errors.append(f"{where}: span end_s must be number or null")
+
+
+def _check_metric(record: Dict[str, Any], where: str, errors: List[str]) -> None:
+    if not isinstance(record.get("metric"), str):
+        errors.append(f"{where}: metric field 'metric' missing or mistyped")
+    kind = record.get("kind")
+    if kind not in _METRIC_KINDS:
+        errors.append(f"{where}: metric kind {kind!r} not one of {sorted(_METRIC_KINDS)}")
+    labels = record.get("labels")
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        errors.append(f"{where}: metric labels must be a str->str object")
+    value = record.get("value")
+    if kind == "histogram":
+        if not isinstance(value, dict) or "count" not in value:
+            errors.append(f"{where}: histogram value must be a summary object")
+    elif kind in _METRIC_KINDS and not isinstance(value, (int, float)):
+        errors.append(f"{where}: {kind} value must be a number")
+
+
+def _check_router_event(record: Dict[str, Any], where: str, errors: List[str]) -> None:
+    if not isinstance(record.get("kind"), str):
+        errors.append(f"{where}: router_event kind missing or mistyped")
+    net_id = record.get("net_id")
+    if net_id is not None and not isinstance(net_id, int):
+        errors.append(f"{where}: router_event net_id must be int or null")
+    if not isinstance(record.get("details"), dict):
+        errors.append(f"{where}: router_event details must be an object")
+
+
+def validate_run_jsonl(path: Union[str, Path]) -> List[str]:
+    """Check a run log against the documented schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    file is valid. Never raises on malformed content — every problem is
+    reported as a finding instead.
+    """
+    path = Path(path)
+    errors: List[str] = []
+    try:
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not raw_lines:
+        return [f"{path}: empty file — expected at least a meta line"]
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        where = f"line {lineno}"
+        if not raw.strip():
+            errors.append(f"{where}: blank line")
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not valid JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{where}: record must be a JSON object")
+            continue
+        rtype = record.get("type")
+        if lineno == 1:
+            if rtype != "meta":
+                errors.append("line 1: first record must have type 'meta'")
+            elif record.get("schema") != SCHEMA_VERSION:
+                errors.append(
+                    f"line 1: unsupported schema {record.get('schema')!r} "
+                    f"(expected {SCHEMA_VERSION})"
+                )
+            continue
+        if rtype == "meta":
+            errors.append(f"{where}: duplicate meta record")
+        elif rtype == "span":
+            _check_span(record, where, errors)
+        elif rtype == "metric":
+            _check_metric(record, where, errors)
+        elif rtype == "router_event":
+            _check_router_event(record, where, errors)
+        else:
+            errors.append(f"{where}: unknown record type {rtype!r}")
+    return errors
+
+
+# ---------------------------------------------------------------------- #
+# Per-phase breakdown
+# ---------------------------------------------------------------------- #
+
+
+def phase_totals(observability=None) -> Dict[str, float]:
+    """Seconds per pipeline phase, folded per :data:`PHASE_SPANS`."""
+    ob = _backend(observability)
+    if ob is None:
+        return {}
+    totals = ob.tracer.totals_by_name()
+    return {
+        phase: sum(totals.get(name, 0.0) for name in names)
+        for phase, names in PHASE_SPANS
+    }
+
+
+def phase_table(observability=None, total_span: str = "route_all") -> str:
+    """The per-phase runtime table (search / graph / flip / ...).
+
+    ``total_span`` names the span whose duration is 100%; phases outside
+    the listed ones show up as 'other'.
+    """
+    ob = _backend(observability)
+    if ob is None:
+        return "observability disabled — no phase data"
+    totals = ob.tracer.totals_by_name()
+    counts = ob.tracer.counts_by_name()
+    total = totals.get(total_span, 0.0)
+    phases = phase_totals(ob)
+
+    header = f"{'phase':12s} {'seconds':>10s} {'share':>7s} {'spans':>8s}"
+    lines = ["per-phase runtime", header, "-" * len(header)]
+    accounted = 0.0
+    for phase, names in PHASE_SPANS:
+        seconds = phases.get(phase, 0.0)
+        n = sum(counts.get(name, 0) for name in names)
+        if n == 0:
+            continue
+        accounted += seconds
+        share = f"{100.0 * seconds / total:6.1f}%" if total > 0 else "      -"
+        lines.append(f"{phase:12s} {seconds:10.4f} {share:>7s} {n:8d}")
+    if total > 0:
+        other = max(0.0, total - accounted)
+        lines.append(f"{'other':12s} {other:10.4f} {100.0 * other / total:6.1f}% {'-':>8s}")
+        lines.append(f"{'total':12s} {total:10.4f} {'100.0%':>7s} {'-':>8s}")
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Process-wide metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of labelled instruments,
+modelled on the Prometheus client but dependency-free and tuned for a
+batch router rather than a scrape endpoint: instruments are created on
+first use (``registry.counter("ripups_total", reason="cut_conflict")``),
+accumulate in-process, and are read back either programmatically
+(:meth:`MetricsRegistry.snapshot`) or as a formatted text block
+(:meth:`MetricsRegistry.to_text`).
+
+Instrument semantics:
+
+* **Counter** — monotonically increasing float (``inc``).
+* **Gauge** — last-write-wins float (``set`` / ``add``).
+* **Histogram** — streaming summary (count/sum/min/max) plus a small
+  reservoir of observations for quantile estimates. Bounded memory: the
+  reservoir keeps the first ``RESERVOIR_SIZE`` samples and then decimates,
+  which is plenty for run-report percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Canonical key of one labelled instrument: (name, sorted label pairs).
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonic counter; ``inc`` with a negative amount raises."""
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value; ``set`` overwrites, ``add`` adjusts."""
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming distribution summary with a decimating reservoir."""
+
+    RESERVOIR_SIZE = 1024
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.labels = labels or {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: List[float] = []
+        self._stride = 1  # keep every _stride'th observation once full
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self._reservoir.append(value)
+            if len(self._reservoir) >= self.RESERVOIR_SIZE:
+                # Decimate: keep every other sample, double the stride.
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 1) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled instruments.
+
+    The same (name, labels) pair always returns the same instrument, so
+    call sites never need to cache handles — though hot paths may, to
+    skip the key lookup.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument access
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, dict(key[1]))
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, dict(key[1]))
+        return inst
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = _key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(name, dict(key[1]))
+        return inst
+
+    # ------------------------------------------------------------------ #
+    # Reading back
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __iter__(self) -> Iterator:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    def names(self) -> List[str]:
+        return sorted(
+            {name for name, _ in self._counters}
+            | {name for name, _ in self._gauges}
+            | {name for name, _ in self._histograms}
+        )
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter/gauge (0.0 when never touched)."""
+        key = _key(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter's value across all label sets."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Plain-data view of every instrument (JSONL-exporter input)."""
+        out: List[Dict[str, Any]] = []
+        for (name, _), c in sorted(self._counters.items()):
+            out.append(
+                {"metric": name, "kind": "counter", "labels": c.labels, "value": c.value}
+            )
+        for (name, _), g in sorted(self._gauges.items()):
+            out.append(
+                {"metric": name, "kind": "gauge", "labels": g.labels, "value": g.value}
+            )
+        for (name, _), h in sorted(self._histograms.items()):
+            out.append(
+                {
+                    "metric": name,
+                    "kind": "histogram",
+                    "labels": h.labels,
+                    "value": h.summary(),
+                }
+            )
+        return out
+
+    def to_text(self) -> str:
+        """Human-readable dump, grouped and sorted for stable output."""
+        lines = ["metrics", "-" * 40]
+        for entry in self.snapshot():
+            label_txt = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            tag = f"{entry['metric']}{{{label_txt}}}" if label_txt else entry["metric"]
+            if entry["kind"] == "histogram":
+                s = entry["value"]
+                lines.append(
+                    f"{tag:48s} n={s['count']} sum={s['sum']:.6g} "
+                    f"mean={s['mean']:.6g} max={s['max']:.6g}"
+                )
+            else:
+                lines.append(f"{tag:48s} {entry['value']:.6g}")
+        return "\n".join(lines)

@@ -11,6 +11,7 @@ from .cost import CostParams
 from .astar import AStarRouter, SearchRequest
 from .result import NetRoute, RoutingResult
 from .sadp_router import SadpRouter
+from .trace import RouterTrace, TraceEvent
 from .io import load_result, save_result
 
 __all__ = [
@@ -20,6 +21,8 @@ __all__ = [
     "NetRoute",
     "RoutingResult",
     "SadpRouter",
+    "RouterTrace",
+    "TraceEvent",
     "save_result",
     "load_result",
 ]

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import RoutingError
 from ..geometry import Point, Segment, points_to_segments
 from ..grid import CellState, Direction, RoutingGrid, Via
@@ -105,7 +106,36 @@ class AStarRouter:
     def search(
         self, request: SearchRequest, extra_margin: int = 0
     ) -> Optional[SearchResult]:
-        """Run A*; None when no path exists within the window/budget."""
+        """Run A*; None when no path exists within the window/budget.
+
+        With observability enabled the search runs inside an
+        ``astar_search`` span and publishes expansion/heap counters;
+        disabled, the only extra work is this predicate.
+        """
+        ob = obs.get_active()
+        self._last_stats = (0, 0, 0)  # (expansions, heap pushes, heap pops)
+        if ob is None:
+            return self._search(request, extra_margin)
+        with ob.tracer.span(
+            "astar_search", net_id=request.net_id, margin=extra_margin
+        ) as sp:
+            result = self._search(request, extra_margin)
+        expansions, pushes, pops = self._last_stats
+        sp.attrs["expansions"] = expansions
+        sp.attrs["found"] = result is not None
+        reg = ob.registry
+        reg.counter(
+            "astar_searches_total",
+            outcome="found" if result is not None else "failed",
+        ).inc()
+        reg.counter("astar_nodes_expanded_total").inc(expansions)
+        reg.counter("astar_heap_pushes_total").inc(pushes)
+        reg.counter("astar_heap_pops_total").inc(pops)
+        return result
+
+    def _search(
+        self, request: SearchRequest, extra_margin: int = 0
+    ) -> Optional[SearchResult]:
         grid = self.grid
         params = self.params
         net_id = request.net_id
@@ -219,12 +249,14 @@ class AStarRouter:
             return None
 
         expansions = 0
+        pops = 0
         goal: Optional[Node] = None
         push = heapq.heappush
         pop = heapq.heappop
         inf = float("inf")
         while open_heap:
             f, g, _, layer, x, y = pop(open_heap)
+            pops += 1
             node = (layer, x, y)
             if g > best_g.get(node, inf):
                 continue
@@ -233,6 +265,7 @@ class AStarRouter:
                 break
             expansions += 1
             if expansions > request.max_expansions:
+                self._last_stats = (expansions, next(counter), pops)
                 return None
 
             # In-layer steps: the preferred direction at cost alpha, and —
@@ -296,6 +329,7 @@ class AStarRouter:
                         ),
                     )
 
+        self._last_stats = (expansions, next(counter), pops)
         if goal is None:
             return None
         nodes = self._backtrace(parent, goal)

@@ -19,9 +19,9 @@ constraint-graph coloring.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..color import Color
 from ..core import (
     ConstraintEdge,
@@ -156,8 +156,18 @@ class SadpRouter:
     MAX_REPAIR_ROUNDS = 4
 
     def route_all(self) -> RoutingResult:
-        """Route every net and return the fully colored result."""
-        start = time.perf_counter()
+        """Route every net and return the fully colored result.
+
+        Wall time comes from the ``route_all`` stopwatch span — identical
+        semantics to the old ``time.perf_counter`` pair, but the same
+        measurement now lands in the run log when observability is on.
+        """
+        with obs.stopwatch("route_all", nets=len(self.netlist)) as sw:
+            result = self._route_all()
+        result.cpu_seconds = sw.duration_s
+        return result
+
+    def _route_all(self) -> RoutingResult:
         result = RoutingResult()
         for net in self.netlist.ordered_for_routing(self.order):
             result.routes[net.net_id] = self.route_net(net)
@@ -204,7 +214,6 @@ class SadpRouter:
         self._collect_metrics(result)
         result.total_ripups = sum(r.ripups for r in result.routes.values())
         result.color_flips = self._flip_count
-        result.cpu_seconds = time.perf_counter() - start
         return result
 
     def route_net(
@@ -220,6 +229,25 @@ class SadpRouter:
         depth-one *chained* rip-up evicts that neighbour, routes this net,
         and reroutes the evicted one.
         """
+        ob = obs.get_active()
+        if ob is None:
+            return self._route_net(net, preserve_penalties, allow_chain)
+        with ob.tracer.span("route_net", net_id=net.net_id) as sp:
+            route = self._route_net(net, preserve_penalties, allow_chain)
+        sp.attrs["success"] = route.success
+        sp.attrs["ripups"] = route.ripups
+        ob.registry.histogram("route_net_seconds").observe(sp.duration_s)
+        ob.registry.counter(
+            "nets_routed_total", success="yes" if route.success else "no"
+        ).inc()
+        return route
+
+    def _route_net(
+        self,
+        net: Net,
+        preserve_penalties: bool = False,
+        allow_chain: bool = True,
+    ) -> NetRoute:
         route = NetRoute(net_id=net.net_id)
         self._active_net = net.net_id
         self.engine.active_net = net.net_id
@@ -298,6 +326,7 @@ class SadpRouter:
 
     def _route_with_eviction(self, net: Net, route: NetRoute) -> NetRoute:
         """Depth-one chained rip-up: evict blockers, route, reroute them."""
+        obs.counter_inc("evictions_total")
         victims = [v for v in sorted(self._blockers) if v in self._committed][:2]
         evicted = []
         for victim in victims:
@@ -322,23 +351,24 @@ class SadpRouter:
         """Tentatively commit a path; False (and rolled back) on violation."""
         for layer, x, y in found.nodes:
             self.grid.occupy(layer, Point(x, y), net_id)
-        scenarios = self.detector.add_net(net_id, found.segments)
 
         edges_by_layer: Dict[int, List[ConstraintEdge]] = {}
         scenario_of_edge: Dict[int, DetectedScenario] = {}
         merge_violations: List[DetectedScenario] = []
-        for sc in scenarios:
-            if not self.enable_merge and sc.scenario is ScenarioType.T1B:
-                # Merge technique disabled: abutting tips cannot be
-                # separated by a cut, and different colors are hard — the
-                # pair is undecomposable, so the net must reroute.
-                merge_violations.append(sc)
-                continue
-            edge = ConstraintEdge.from_scenario(
-                sc.net_a, sc.net_b, sc.scenario, sc.a_is_tip_owner, sc.overlap
-            )
-            edges_by_layer.setdefault(sc.layer, []).append(edge)
-            scenario_of_edge[id(edge)] = sc
+        with obs.span("ocg_update", net_id=net_id):
+            scenarios = self.detector.add_net(net_id, found.segments)
+            for sc in scenarios:
+                if not self.enable_merge and sc.scenario is ScenarioType.T1B:
+                    # Merge technique disabled: abutting tips cannot be
+                    # separated by a cut, and different colors are hard — the
+                    # pair is undecomposable, so the net must reroute.
+                    merge_violations.append(sc)
+                    continue
+                edge = ConstraintEdge.from_scenario(
+                    sc.net_a, sc.net_b, sc.scenario, sc.a_is_tip_owner, sc.overlap
+                )
+                edges_by_layer.setdefault(sc.layer, []).append(edge)
+                scenario_of_edge[id(edge)] = sc
         if merge_violations:
             cells = [(sc.layer, sc.rect_a) for sc in merge_violations]
             for sc in merge_violations:
@@ -346,10 +376,11 @@ class SadpRouter:
             self._undo(net_id, found, offending_cells=cells)
             return False
         offenders: List[ConstraintEdge] = []
-        for layer, edges in edges_by_layer.items():
-            offenders.extend(self.graphs[layer].add_edges(edges))
-        for layer in self._net_layers(found.segments):
-            self.graphs[layer].add_vertex(net_id)
+        with obs.span("ocg_update", net_id=net_id):
+            for layer, edges in edges_by_layer.items():
+                offenders.extend(self.graphs[layer].add_edges(edges))
+            for layer in self._net_layers(found.segments):
+                self.graphs[layer].add_vertex(net_id)
 
         if offenders:
             # Hard odd cycle: rip up and penalise exactly the fragments
@@ -365,16 +396,18 @@ class SadpRouter:
             return False
 
         # Pseudo-coloring (Fig. 19 line 11), then the cut-conflict check.
-        for layer in self._net_layers(found.segments):
-            pseudo_color(self.graphs[layer], net_id, self.colorings[layer])
+        with obs.span("pseudo_color", net_id=net_id):
+            for layer in self._net_layers(found.segments):
+                pseudo_color(self.graphs[layer], net_id, self.colorings[layer])
 
         self._scenarios_by_net[net_id] = []
         for sc in scenarios:
             self._scenarios_by_net[net_id].append(sc)
             self._scenarios_by_net.setdefault(sc.net_b, []).append(sc)
 
-        cuts = self._cuts_for_net(net_id)
-        conflicts = self.checker.conflicts_with(cuts)
+        with obs.span("cut_check", net_id=net_id):
+            cuts = self._cuts_for_net(net_id)
+            conflicts = self.checker.conflicts_with(cuts)
         if conflicts:
             # Try the opposite color on every layer before giving up.
             # (Type A risks are avoided by the coloring veto whenever a
@@ -447,6 +480,14 @@ class SadpRouter:
         offending_cells: Optional[List] = None,
         suppress_path_penalty: bool = False,
     ) -> None:
+        ob = obs.get_active()
+        if ob is not None:
+            reason = (
+                "cut_conflict"
+                if suppress_path_penalty
+                else ("hard_odd_cycle" if offending_cells else "path_penalised")
+            )
+            ob.registry.counter("ripups_total", reason=reason).inc()
         self.detector.remove_net(net_id)
         for layer in range(self.grid.num_layers):
             self.graphs[layer].remove_net(net_id)
@@ -524,21 +565,23 @@ class SadpRouter:
                 if cost != float("inf"):
                     induced += cost
         if induced > self.params.flip_threshold:
-            for layer in range(self.grid.num_layers):
-                graph = self.graphs[layer]
-                if net_id not in graph.vertices:
-                    continue
-                scope = graph.component_of(net_id)
-                if len(scope) > self.params.flip_scope_cap:
-                    # Late in routing, components merge into one giant
-                    # blob; re-running the full DP per net would be
-                    # quadratic. Defer huge components to the final
-                    # full-layout flipping pass (Fig. 19 line 16).
-                    continue
-                new_colors = flip_colors(graph, scope)
-                self.colorings[layer].update(new_colors)
-                self._flip_count += 1
-                self._refresh_cuts(new_colors.keys())
+            with obs.span("color_flip", net_id=net_id, scope="component"):
+                for layer in range(self.grid.num_layers):
+                    graph = self.graphs[layer]
+                    if net_id not in graph.vertices:
+                        continue
+                    scope = graph.component_of(net_id)
+                    if len(scope) > self.params.flip_scope_cap:
+                        # Late in routing, components merge into one giant
+                        # blob; re-running the full DP per net would be
+                        # quadratic. Defer huge components to the final
+                        # full-layout flipping pass (Fig. 19 line 16).
+                        continue
+                    new_colors = flip_colors(graph, scope)
+                    self.colorings[layer].update(new_colors)
+                    self._flip_count += 1
+                    obs.counter_inc("color_flips_total", scope="component")
+                    self._refresh_cuts(new_colors.keys())
 
     def _rescue_pass(self, result: RoutingResult) -> None:
         """One more attempt for every failed net, with the layout final.
@@ -566,6 +609,7 @@ class SadpRouter:
         penalties on the conflict sites; on the last round an offender is
         left unrouted (traded for routability, never for a conflict).
         """
+        obs.counter_inc("repair_rounds_total")
         offenders = []
         seen = set()
         for conflict in conflicts:
@@ -632,10 +676,12 @@ class SadpRouter:
         """Fig. 19 line 16: full-layout color flipping after routing."""
         if not self.enable_flipping:
             return
-        for layer, graph in enumerate(self.graphs):
-            if graph.vertices:
-                self.colorings[layer].update(flip_colors(graph))
-                self._flip_count += 1
+        with obs.span("color_flip", scope="layout"):
+            for layer, graph in enumerate(self.graphs):
+                if graph.vertices:
+                    self.colorings[layer].update(flip_colors(graph))
+                    self._flip_count += 1
+                    obs.counter_inc("color_flips_total", scope="layout")
 
     # ------------------------------------------------------------------ #
     # Cut bookkeeping

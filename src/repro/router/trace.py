@@ -13,8 +13,10 @@ logging noise and tracing costs nothing when unused.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 from .sadp_router import SadpRouter
 
@@ -27,19 +29,40 @@ class TraceEvent:
     net_id: Optional[int]
     details: Dict[str, Any] = field(default_factory=dict)
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        parts = ", ".join(f"{k}={v}" for k, v in self.details.items())
+    def __repr__(self) -> str:
+        # Deterministic: keys sorted, values JSON-escaped — so traces of
+        # identical runs compare equal as text and survive doctests.
+        parts = ", ".join(
+            f"{k}={json.dumps(v, sort_keys=True, default=str)}"
+            for k, v in sorted(self.details.items())
+        )
         net = f" net={self.net_id}" if self.net_id is not None else ""
         return f"<{self.kind}{net} {parts}>"
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "net_id": self.net_id, "details": self.details}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            kind=record["kind"],
+            net_id=record.get("net_id"),
+            details=dict(record.get("details", {})),
+        )
+
 
 class RouterTrace:
-    """Records the routing flow of one :class:`SadpRouter` run."""
+    """Records the routing flow of one :class:`SadpRouter` run.
 
-    def __init__(self, router: SadpRouter) -> None:
+    Construct with a router to record live, or with ``router=None`` (as
+    :meth:`from_jsonl` does) to hold a previously exported event list.
+    """
+
+    def __init__(self, router: Optional[SadpRouter] = None) -> None:
         self.router = router
         self.events: List[TraceEvent] = []
-        self._install(router)
+        if router is not None:
+            self._install(router)
 
     # ------------------------------------------------------------------ #
     # Wrapping
@@ -104,6 +127,42 @@ class RouterTrace:
 
     def _log(self, kind: str, net_id: Optional[int], **details: Any) -> None:
         self.events.append(TraceEvent(kind=kind, net_id=net_id, details=details))
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one ``{"kind", "net_id", "details"}`` object per line.
+
+        The records match the ``router_event`` payload of the unified run
+        log (:func:`repro.obs.export_run_jsonl`), so a standalone trace
+        file and the merged log share tooling.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True, default=str))
+                fh.write("\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "RouterTrace":
+        """Rebuild a trace (router-less) from :meth:`to_jsonl` output.
+
+        Also accepts a unified run log: ``router_event`` records are
+        loaded, other record types are skipped.
+        """
+        trace = cls(router=None)
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            rtype = record.get("type")
+            if rtype is not None and rtype != "router_event":
+                continue
+            trace.events.append(TraceEvent.from_dict(record))
+        return trace
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -2,7 +2,15 @@
 
 import pytest
 
+from repro import obs
 from repro.rules import DesignRules
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_between_tests():
+    """Observability is process-global state; never leak it across tests."""
+    yield
+    obs.disable()
 
 
 @pytest.fixture

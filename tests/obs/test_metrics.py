@@ -1,0 +1,118 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ripups_total", reason="cut_conflict")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", a="1", b="2").inc()
+        # label order must not matter
+        assert reg.counter("x_total", b="2", a="1").value == 1.0
+
+    def test_different_labels_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", reason="a").inc()
+        reg.counter("x_total", reason="b").inc(2)
+        assert reg.value("x_total", reason="a") == 1.0
+        assert reg.value("x_total", reason="b") == 2.0
+        assert reg.total("x_total") == 3.0
+
+    def test_counter_is_monotonic(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x_total").inc(-1)
+
+    def test_non_string_label_values_coerced(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", layer=0).inc()
+        assert reg.value("x_total", layer="0") == 1.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(10.0)
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+
+    def test_empty_summary(self):
+        s = Histogram("empty").summary()
+        assert s["count"] == 0
+        assert s["sum"] == 0.0
+
+    def test_quantiles_ordered(self):
+        h = Histogram("q")
+        for v in range(101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(0.95)
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("q").quantile(1.5)
+
+    def test_reservoir_stays_bounded(self):
+        h = Histogram("big")
+        for v in range(20_000):
+            h.observe(float(v))
+        assert h.count == 20_000
+        assert len(h._reservoir) <= Histogram.RESERVOIR_SIZE
+        # exact stats unaffected by decimation
+        assert h.min == 0.0 and h.max == 19_999.0
+
+
+class TestRegistry:
+    def test_len_iter_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.gauge("b")
+        reg.histogram("c").observe(1)
+        assert len(reg) == 3
+        assert reg.names() == ["a_total", "b", "c"]
+        assert len(list(reg)) == 3
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", k="v").inc(2)
+        reg.histogram("h").observe(5)
+        snap = {(e["metric"], e["kind"]): e for e in reg.snapshot()}
+        assert snap[("a_total", "counter")]["value"] == 2.0
+        assert snap[("a_total", "counter")]["labels"] == {"k": "v"}
+        assert snap[("h", "histogram")]["value"]["count"] == 1
+
+    def test_to_text_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total").inc()
+        reg.counter("a_total").inc()
+        text = reg.to_text()
+        assert text.index("a_total") < text.index("z_total")
+
+    def test_value_of_untouched_metric_is_zero(self):
+        assert MetricsRegistry().value("nope_total") == 0.0

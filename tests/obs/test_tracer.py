@@ -1,0 +1,116 @@
+"""Unit tests for the span tracer and the module-level backend switch."""
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import Tracer
+
+
+class TestSpans:
+    def test_nesting_builds_parent_links(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert tr.current() is inner
+            assert tr.current() is outer
+        assert tr.current() is None
+        by_name = {sp.name: sp for sp in tr.finished}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_timing_monotonicity(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {sp.name: sp for sp in tr.finished}
+        outer, inner = by_name["outer"], by_name["inner"]
+        for sp in (outer, inner):
+            assert sp.finished
+            assert sp.end_s >= sp.start_s
+            assert sp.duration_s >= 0.0
+        # child starts after parent, ends before it
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert inner.duration_s <= outer.duration_s
+
+    def test_span_recorded_even_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.spans_named("boom")[0].finished
+
+    def test_attrs_and_aggregation(self):
+        tr = Tracer()
+        with tr.span("work", net_id=7):
+            pass
+        with tr.span("work", net_id=8):
+            pass
+        assert tr.counts_by_name() == {"work": 2}
+        assert tr.totals_by_name()["work"] >= 0.0
+        assert [sp.attrs["net_id"] for sp in tr.spans_named("work")] == [7, 8]
+
+    def test_tree_and_text(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        tree = tr.tree()
+        assert len(tree[None]) == 1
+        text = tr.to_text()
+        assert "a" in text and "b" in text
+
+
+class TestBackendSwitch:
+    def test_disabled_by_default(self):
+        obs.disable()
+        assert obs.get_active() is None
+        assert not obs.is_enabled()
+
+    def test_noop_backend_produces_zero_events(self):
+        obs.disable()
+        with obs.span("anything", k=1):
+            obs.counter_inc("whatever_total")
+        with obs.stopwatch("timed") as sw:
+            pass
+        assert sw.duration_s >= 0.0
+        # still nothing recorded anywhere
+        ob = obs.enable()
+        assert ob.tracer.finished == []
+        assert len(ob.registry) == 0
+        obs.disable()
+
+    def test_enable_records(self):
+        ob = obs.enable()
+        with obs.span("x"):
+            obs.counter_inc("c_total", 3)
+        assert [sp.name for sp in ob.tracer.finished] == ["x"]
+        assert ob.registry.value("c_total") == 3.0
+        obs.disable()
+
+    def test_enable_fresh_resets(self):
+        ob1 = obs.enable()
+        obs.counter_inc("c_total")
+        ob2 = obs.enable()  # fresh=True default
+        assert ob2 is not ob1
+        assert ob2.registry.value("c_total") == 0.0
+        obs.disable()
+
+    def test_enable_not_fresh_keeps_backend(self):
+        ob1 = obs.enable()
+        assert obs.enable(fresh=False) is ob1
+        obs.disable()
+
+    def test_session_restores_previous(self):
+        obs.disable()
+        with obs.session() as ob:
+            assert obs.get_active() is ob
+        assert obs.get_active() is None
+
+    def test_stopwatch_records_span_when_enabled(self):
+        with obs.session() as ob:
+            with obs.stopwatch("route_all") as sw:
+                pass
+            assert sw.duration_s >= 0.0
+            assert [sp.name for sp in ob.tracer.finished] == ["route_all"]

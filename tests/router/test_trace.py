@@ -63,3 +63,46 @@ class TestTrace:
         reasons = trace.ripup_reasons()
         assert isinstance(reasons, dict)
         assert all(isinstance(v, int) for v in reasons.values())
+
+
+class TestTraceRepr:
+    def test_repr_sorts_keys_and_escapes_values(self):
+        from repro.router.trace import TraceEvent
+
+        event = TraceEvent(
+            "route_end", 3, {"z": True, "a": "hi there", "m": [2, 1]}
+        )
+        # keys sorted, strings quoted, bools/ lists JSON-encoded
+        assert repr(event) == '<route_end net=3 a="hi there", m=[2, 1], z=true>'
+
+    def test_repr_identical_for_equal_events(self):
+        from repro.router.trace import TraceEvent
+
+        a = TraceEvent("k", None, {"x": 1, "y": 2})
+        b = TraceEvent("k", None, {"y": 2, "x": 1})
+        assert repr(a) == repr(b)
+
+
+class TestTraceJsonlRoundTrip:
+    def test_round_trip_preserves_events(self, traced_run, tmp_path):
+        trace, _ = traced_run
+        path = trace.to_jsonl(tmp_path / "trace.jsonl")
+        loaded = RouterTrace.from_jsonl(path)
+        assert loaded.router is None
+        assert loaded.events == trace.events
+        # loaded traces answer the same queries
+        assert loaded.count("route_start") == trace.count("route_start")
+        assert loaded.ripup_reasons() == trace.ripup_reasons()
+
+    def test_from_jsonl_reads_unified_run_log(self, traced_run, tmp_path):
+        from repro.obs.export import export_run_jsonl
+
+        trace, _ = traced_run
+        path = export_run_jsonl(tmp_path / "run.jsonl", router_trace=trace)
+        loaded = RouterTrace.from_jsonl(path)
+        assert loaded.events == trace.events
+
+    def test_router_less_trace_is_empty(self):
+        trace = RouterTrace()
+        assert trace.events == []
+        assert trace.count("route_start") == 0

@@ -73,6 +73,63 @@ class TestCli:
         assert main(["bench", "Test42"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_route_with_metrics_and_trace(self, netlist_file, tmp_path, capsys):
+        from repro import obs
+
+        log = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "route",
+                str(netlist_file),
+                "--width",
+                "30",
+                "--height",
+                "30",
+                "--metrics",
+                "--trace",
+                str(log),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-phase runtime" in out
+        assert "search" in out
+        assert "astar_searches_total" in out
+        assert log.exists()
+        # the CLI turns observability back off after the command
+        assert obs.get_active() is None
+
+    def test_bench_with_metrics_prints_phase_columns(self, capsys):
+        rc = main(["bench", "Test1", "--scale", "0.1", "--metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "search(s)" in out and "graph(s)" in out and "flip(s)" in out
+        assert "per-phase runtime" in out
+
+    def test_validate_trace_roundtrip(self, netlist_file, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        main(
+            [
+                "route",
+                str(netlist_file),
+                "--width",
+                "30",
+                "--height",
+                "30",
+                "--trace",
+                str(log),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["validate-trace", str(log)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_trace_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["validate-trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
     def test_parser_has_version(self):
         parser = build_parser()
         with pytest.raises(SystemExit) as exc:
@@ -128,3 +185,24 @@ class TestAnalysis:
             assert breakdown.dominant() in breakdown.units_by_scenario
         else:
             assert breakdown.dominant() == "-"
+
+    def test_no_instrumentation_section_when_disabled(self, routed):
+        router, result = routed
+        report = analyze(router, result)
+        assert report.instrumentation is None
+        assert "instrumentation" not in report.to_text()
+
+    def test_instrumentation_section_when_enabled(self):
+        from repro import obs
+
+        with obs.session():
+            grid = RoutingGrid(26, 26)
+            nets = Netlist([Net(0, "a", Pin.at(2, 5), Pin.at(20, 5))])
+            router = SadpRouter(grid, nets)
+            result = router.route_all()
+            report = analyze(router, result)
+        assert report.instrumentation is not None
+        assert report.instrumentation["phase_seconds"].get("search", 0) > 0
+        text = report.to_text()
+        assert "instrumentation:" in text
+        assert "search_s" in text
