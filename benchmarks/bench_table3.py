@@ -13,7 +13,7 @@ import pytest
 
 from repro.baselines import CutNoMergeRouter, GaoPanTrimRouter
 from repro.bench import FIXED_PIN_BENCHMARKS, run_baseline, run_proposed, rows_to_table
-from repro.bench.runner import comparison_summary
+from repro.bench.runner import append_rows_json, comparison_summary
 
 from conftest import circuit_enabled, scale_for
 
@@ -27,6 +27,9 @@ def table3_file(results_dir):
         "Table III reproduction — fixed-pin benchmarks\n"
         "ours vs Gao-Pan [11] (trim) vs [16] (cut, no merge)\n\n"
     )
+    json_twin = results_dir / "table3.json"
+    if json_twin.exists():
+        json_twin.unlink()  # fresh accumulation per regeneration
     return out
 
 
@@ -50,6 +53,7 @@ def test_table3_circuit(benchmark, table3_file, spec):
         fh.write(table + "\n")
         fh.write(comparison_summary([ours], [gao_pan]) + "\n")
         fh.write(comparison_summary([ours], [cut16]) + "\n\n")
+    append_rows_json(table3_file.with_suffix(".json"), rows, scale=scale)
 
     # The paper's claims, as shape assertions:
     assert ours.conflicts == 0, "ours must be conflict-free"

@@ -13,7 +13,7 @@ import pytest
 
 from repro.baselines import DuTrimRouter
 from repro.bench import MULTI_PIN_BENCHMARKS, run_baseline, run_proposed, rows_to_table
-from repro.bench.runner import BenchRow, comparison_summary
+from repro.bench.runner import BenchRow, append_rows_json, comparison_summary
 
 from conftest import circuit_enabled, scale_for
 
@@ -31,6 +31,9 @@ def table4_file(results_dir):
         "Table IV reproduction — multiple pin candidate locations\n"
         "ours vs Du et al. [10] (trim, exhaustive candidate search)\n\n"
     )
+    json_twin = out.with_suffix(".json")
+    if json_twin.exists():
+        json_twin.unlink()  # fresh accumulation per regeneration
     return out
 
 
@@ -51,6 +54,7 @@ def test_table4_circuit(benchmark, table4_file, spec):
     with table4_file.open("a") as fh:
         fh.write(table + "\n")
         fh.write(comparison_summary([ours], [du]) + "\n\n")
+    append_rows_json(table4_file.with_suffix(".json"), [ours, du], scale=scale)
 
     assert ours.conflicts == 0
     # [10] either lost routability to its frozen-color model, burnt far

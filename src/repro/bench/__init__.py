@@ -6,7 +6,14 @@ from .workloads import (
     MULTI_PIN_BENCHMARKS,
     generate_benchmark,
 )
-from .runner import BenchRow, run_proposed, run_baseline, rows_to_table
+from .runner import (
+    BenchRow,
+    append_rows_json,
+    rows_to_json,
+    rows_to_table,
+    run_baseline,
+    run_proposed,
+)
 from .scaling import fit_power_law
 from .sweeps import SweepPoint, sweep_parameter, sweep_to_table
 
@@ -19,6 +26,8 @@ __all__ = [
     "run_proposed",
     "run_baseline",
     "rows_to_table",
+    "rows_to_json",
+    "append_rows_json",
     "fit_power_law",
     "SweepPoint",
     "sweep_parameter",

@@ -1,0 +1,345 @@
+"""Perf regression bench: interleaved fast-vs-reference route_all timing.
+
+Measures the router's end-to-end wall time on scaled paper workloads with
+observability **off** (the production configuration), comparing the
+flat-index fast A* path against the dict-based reference implementation.
+Rounds are interleaved — reference, fast, reference, fast, … — so thermal
+drift and background noise hit both modes equally, and the per-mode
+minimum over rounds is reported (the least-noise estimate of true cost).
+
+Results land in ``BENCH_perf.json``::
+
+    python -m repro.bench.perf --out BENCH_perf.json
+
+and a committed baseline gates regressions in CI::
+
+    python -m repro.bench.perf --workloads Test1 --rounds 2 \\
+        --check BENCH_perf.json --tolerance 0.30
+
+The check compares *speedup ratios* (reference time / fast time), not
+absolute wall times, so a baseline recorded on one machine is meaningful
+on any runner: the ratio cancels machine speed, and the tolerance
+absorbs runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..obs.export import phase_totals
+from ..router import SadpRouter
+from .workloads import generate_benchmark, spec_by_name
+
+SCHEMA = "repro-bench-perf/1"
+
+#: Workload scales: chosen so a full default run finishes in a couple of
+#: minutes while Test5 is large enough for a stable speedup estimate.
+DEFAULT_SCALES: Dict[str, float] = {
+    "Test1": 0.20,
+    "Test5": 0.12,
+    "Test6": 0.20,
+}
+
+DEFAULT_WORKLOADS = ("Test1", "Test5", "Test6")
+
+
+@dataclass
+class ModeSample:
+    """One mode's (reference or fast) best-of-rounds measurement."""
+
+    route_all_s: float
+    rounds_s: List[float]
+    expansions: int
+    searches: int
+    routability_pct: float
+    overlay_units: float
+
+    @property
+    def expansions_per_s(self) -> float:
+        return self.expansions / self.route_all_s if self.route_all_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "route_all_s": round(self.route_all_s, 6),
+            "rounds_s": [round(r, 6) for r in self.rounds_s],
+            "expansions": self.expansions,
+            "searches": self.searches,
+            "expansions_per_s": round(self.expansions_per_s, 1),
+            "routability_pct": round(self.routability_pct, 2),
+            "overlay_units": self.overlay_units,
+        }
+
+
+@dataclass
+class WorkloadResult:
+    circuit: str
+    scale: float
+    seed: int
+    fast: ModeSample
+    reference: Optional[ModeSample] = None
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.reference is None or self.fast.route_all_s <= 0:
+            return None
+        return self.reference.route_all_s / self.fast.route_all_s
+
+    def to_dict(self) -> dict:
+        out = {
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "seed": self.seed,
+            "fast": self.fast.to_dict(),
+        }
+        if self.reference is not None:
+            out["reference"] = self.reference.to_dict()
+            out["speedup"] = round(self.speedup, 4)
+            out["walltime_reduction_pct"] = round(
+                (1.0 - self.fast.route_all_s / self.reference.route_all_s) * 100.0, 2
+            )
+        if self.phases:
+            out["phases_s"] = {k: round(v, 6) for k, v in self.phases.items()}
+        return out
+
+
+def _run_once(
+    circuit: str, scale: float, seed: int, use_reference: bool
+) -> Tuple[float, int, int, float, float]:
+    """One fresh instance + route_all; returns (wall_s, expansions,
+    searches, routability_pct, overlay_units)."""
+    spec = spec_by_name(circuit)
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    router = SadpRouter(grid, nets)
+    router.engine.use_reference = use_reference
+    t0 = time.perf_counter()
+    result = router.route_all()
+    wall = time.perf_counter() - t0
+    return (
+        wall,
+        router.engine.total_expansions,
+        router.engine.total_searches,
+        result.routability * 100.0,
+        result.overlay_units,
+    )
+
+
+def _phase_split(circuit: str, scale: float, seed: int) -> Dict[str, float]:
+    """One instrumented (untimed-for-comparison) run for the phase split."""
+    spec = spec_by_name(circuit)
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    with obs.session():
+        before = dict(phase_totals())
+        SadpRouter(grid, nets).route_all()
+        after = phase_totals()
+    return {
+        phase: after.get(phase, 0.0) - before.get(phase, 0.0)
+        for phase in ("search", "graph", "flip")
+    }
+
+
+def run_perf(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    scales: Optional[Dict[str, float]] = None,
+    seed: int = 2014,
+    rounds: int = 3,
+    include_reference: bool = True,
+    include_phases: bool = True,
+    verbose: bool = True,
+) -> dict:
+    """Run the perf bench; returns the ``BENCH_perf.json`` payload."""
+    if obs.is_enabled():
+        raise RuntimeError(
+            "perf bench must run with observability off (it measures the "
+            "production configuration); call obs.disable() first"
+        )
+    scales = {**DEFAULT_SCALES, **(scales or {})}
+    results: List[WorkloadResult] = []
+    for circuit in workloads:
+        scale = scales.get(circuit, 0.15)
+        modes = ["reference", "fast"] if include_reference else ["fast"]
+        samples: Dict[str, List[Tuple[float, int, int, float, float]]] = {
+            m: [] for m in modes
+        }
+        for _ in range(rounds):
+            for mode in modes:  # interleaved: both modes see the same drift
+                samples[mode].append(
+                    _run_once(circuit, scale, seed, use_reference=(mode == "reference"))
+                )
+        def best(mode: str) -> ModeSample:
+            runs = samples[mode]
+            idx = min(range(len(runs)), key=lambda i: runs[i][0])
+            wall, exp, searches, rout, ovl = runs[idx]
+            return ModeSample(
+                route_all_s=wall,
+                rounds_s=[r[0] for r in runs],
+                expansions=exp,
+                searches=searches,
+                routability_pct=rout,
+                overlay_units=ovl,
+            )
+        wl = WorkloadResult(
+            circuit=circuit,
+            scale=scale,
+            seed=seed,
+            fast=best("fast"),
+            reference=best("reference") if include_reference else None,
+        )
+        if include_phases:
+            wl.phases = _phase_split(circuit, scale, seed)
+        results.append(wl)
+        if verbose:
+            line = (
+                f"{circuit:7s} scale {scale:.2f}: fast {wl.fast.route_all_s:.3f}s"
+                f" ({wl.fast.expansions_per_s:,.0f} exp/s)"
+            )
+            if wl.reference is not None:
+                line += (
+                    f", reference {wl.reference.route_all_s:.3f}s"
+                    f" -> speedup {wl.speedup:.2f}x"
+                )
+            print(line)
+    payload = {
+        "schema": SCHEMA,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "config": {
+            "rounds": rounds,
+            "seed": seed,
+            "workloads": list(workloads),
+            "scales": {c: scales.get(c, 0.15) for c in workloads},
+            "observability": "off",
+            "timing": "interleaved, best-of-rounds",
+        },
+        "workloads": [wl.to_dict() for wl in results],
+    }
+    speedups = [wl.speedup for wl in results if wl.speedup is not None]
+    if speedups:
+        geo = 1.0
+        for s in speedups:
+            geo *= s
+        payload["summary"] = {
+            "geomean_speedup": round(geo ** (1.0 / len(speedups)), 4),
+            "min_speedup": round(min(speedups), 4),
+        }
+    return payload
+
+
+def check_against_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.30
+) -> List[str]:
+    """Regression gate: compare speedup ratios per workload.
+
+    A workload regresses when its measured reference/fast speedup falls
+    more than ``tolerance`` (fractional) below the baseline's. Ratios
+    are machine-portable; the tolerance absorbs runner noise. Returns a
+    list of problems (empty = pass). Workloads missing from either side
+    are skipped — the gate checks what both runs measured.
+    """
+    problems: List[str] = []
+    base_by_circuit = {
+        wl["circuit"]: wl for wl in baseline.get("workloads", [])
+    }
+    checked = 0
+    for wl in current.get("workloads", []):
+        base = base_by_circuit.get(wl["circuit"])
+        if base is None or "speedup" not in wl or "speedup" not in base:
+            continue
+        checked += 1
+        floor = base["speedup"] * (1.0 - tolerance)
+        if wl["speedup"] < floor:
+            problems.append(
+                f"{wl['circuit']}: speedup {wl['speedup']:.2f}x is below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x minus "
+                f"{tolerance:.0%} tolerance)"
+            )
+    if checked == 0:
+        problems.append("no overlapping workloads between run and baseline")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--workloads",
+        default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated TestN names",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--scale-mult",
+        type=float,
+        default=1.0,
+        help="multiplier on the per-workload default scales",
+    )
+    parser.add_argument("--out", default=None, help="write BENCH_perf.json here")
+    parser.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the reference-path runs (fast-only timing)",
+    )
+    parser.add_argument(
+        "--no-phases", action="store_true", help="skip the instrumented phase split"
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline BENCH_perf.json to gate speedup regressions against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup drop vs the baseline (runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    scales = {
+        c: min(s * args.scale_mult, 1.0) for c, s in DEFAULT_SCALES.items()
+    }
+    payload = run_perf(
+        workloads=workloads,
+        scales=scales,
+        seed=args.seed,
+        rounds=args.rounds,
+        include_reference=not args.no_reference,
+        include_phases=not args.no_phases,
+    )
+    if "summary" in payload:
+        print(
+            f"geomean speedup {payload['summary']['geomean_speedup']:.2f}x "
+            f"(min {payload['summary']['min_speedup']:.2f}x)"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        problems = check_against_baseline(payload, baseline, args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"perf check vs {args.check}: OK (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

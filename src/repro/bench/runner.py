@@ -9,8 +9,10 @@ the per-stage breakdown the TRIAD/TPL papers report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from ..obs.export import phase_totals
 from ..router import SadpRouter
@@ -57,6 +59,13 @@ class BenchRow:
     @property
     def has_phases(self) -> bool:
         return (self.search_s + self.graph_s + self.flip_s) > 0.0
+
+    def to_dict(self, **meta) -> Dict:
+        """The row as a flat JSON-ready dict; ``meta`` (e.g. scale/seed)
+        is merged in, so trajectory tooling sees the full context."""
+        out = asdict(self)
+        out.update(meta)
+        return out
 
 
 def _fill_phases(row: BenchRow, before: Dict[str, float]) -> BenchRow:
@@ -128,6 +137,38 @@ def rows_to_table(rows: List[BenchRow], caption: str = "") -> str:
             line += f" {row.search_s:10.4f} {row.graph_s:9.4f} {row.flip_s:8.4f}"
         lines.append(line)
     return "\n".join(lines)
+
+
+ROWS_SCHEMA = "repro-bench-rows/1"
+
+
+def rows_to_json(rows: List[BenchRow], caption: str = "", **meta) -> str:
+    """The rows as a JSON document (machine-readable table twin)."""
+    payload = {
+        "schema": ROWS_SCHEMA,
+        "caption": caption,
+        "rows": [row.to_dict(**meta) for row in rows],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def append_rows_json(path: Union[str, Path], rows: List[BenchRow], **meta) -> None:
+    """Accumulate rows into a JSON artifact next to a text table.
+
+    The benchmark scripts append one circuit at a time to their
+    ``results/*.txt`` tables; this mirrors each append into a sibling
+    ``*.json`` so perf-trajectory tooling gets structured data without
+    parsing the fixed-width tables. The file is a single JSON document
+    (``schema``/``rows``), re-read and rewritten per append — benchmark
+    cadence, not hot-path cadence.
+    """
+    path = Path(path)
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {"schema": ROWS_SCHEMA, "rows": []}
+    payload["rows"].extend(row.to_dict(**meta) for row in rows)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def comparison_summary(ours: List[BenchRow], theirs: List[BenchRow]) -> str:

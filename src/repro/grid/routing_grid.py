@@ -63,6 +63,37 @@ class RoutingGrid:
         self._occ = np.full(
             (len(self.layers), width, height), int(CellState.FREE), dtype=np.int32
         )
+        # Occupancy-change listeners (e.g. the router's overlay-cost
+        # cache). Kept as a plain list and guarded with a truthiness
+        # check so the unobserved grid pays one branch per mutation.
+        self._listeners: List = []
+
+    # ------------------------------------------------------------------ #
+    # Change notification
+    # ------------------------------------------------------------------ #
+
+    def add_change_listener(self, listener) -> None:
+        """Subscribe to occupancy changes.
+
+        ``listener`` must provide ``on_cells_changed(cells)`` — called
+        with an iterable of ``(layer, x, y)`` whose occupancy just
+        changed — and ``on_grid_reset()`` for bulk rewrites where per-cell
+        reporting would be wasteful (treat everything as stale).
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_change_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify_cells(self, cells) -> None:
+        for listener in self._listeners:
+            listener.on_cells_changed(cells)
+
+    def _notify_reset(self) -> None:
+        for listener in self._listeners:
+            listener.on_grid_reset()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -112,6 +143,8 @@ class RoutingGrid:
         self._occ[layer, rect.xlo : rect.xhi, rect.ylo : rect.yhi] = int(
             CellState.BLOCKED
         )
+        if self._listeners:
+            self._notify_reset()
 
     def occupy(self, layer: int, p: Point, net_id: int) -> None:
         if net_id < 0:
@@ -119,7 +152,11 @@ class RoutingGrid:
         owner = self.owner(layer, p)
         if owner not in (int(CellState.FREE), net_id):
             raise GridError(f"cell ({layer}, {p}) already owned by net {owner}")
+        if owner == net_id:
+            return  # no occupancy change, nothing to notify
         self._occ[layer, p.x, p.y] = net_id
+        if self._listeners:
+            self._notify_cells(((layer, p.x, p.y),))
 
     def occupy_segment(self, seg: Segment, net_id: int) -> None:
         for p in seg.points():
@@ -129,11 +166,20 @@ class RoutingGrid:
         """Free a cell owned by ``net_id`` (no-op when owned by someone else)."""
         if self.owner(layer, p) == net_id:
             self._occ[layer, p.x, p.y] = int(CellState.FREE)
+            if self._listeners:
+                self._notify_cells(((layer, p.x, p.y),))
 
     def release_net(self, net_id: int) -> int:
         """Free every cell owned by ``net_id``; returns the number released."""
         mask = self._occ == net_id
         count = int(np.count_nonzero(mask))
+        if count and self._listeners:
+            changed = [
+                (int(l), int(x), int(y)) for l, x, y in np.argwhere(mask)
+            ]
+            self._occ[mask] = int(CellState.FREE)
+            self._notify_cells(changed)
+            return count
         self._occ[mask] = int(CellState.FREE)
         return count
 

@@ -9,6 +9,7 @@ returns a fully colored, conflict-free routing result.
 
 from .cost import CostParams
 from .astar import AStarRouter, SearchRequest
+from .overlay_cache import OverlayCostCache, overlay_cost_grid, probe_cell
 from .result import NetRoute, RoutingResult
 from .sadp_router import SadpRouter
 from .trace import RouterTrace, TraceEvent
@@ -18,6 +19,9 @@ __all__ = [
     "CostParams",
     "AStarRouter",
     "SearchRequest",
+    "OverlayCostCache",
+    "overlay_cost_grid",
+    "probe_cell",
     "NetRoute",
     "RoutingResult",
     "SadpRouter",

@@ -9,11 +9,23 @@ multi-source / multi-target.
 The per-cell cost implements Eq. (5): wirelength, via count, the type 2-b
 penalty, plus transient rip-up penalties injected by the outer loop.
 
-Performance note: this loop dominates the router's runtime, so the hot
-path reads the occupancy numpy array directly and inlines the overlay
-probe (gamma for a 2-b tip gap, delta_tip for a direct abutment). Generic
-per-cell callbacks remain available for experimentation but cost extra
-Python calls.
+Performance notes — this loop dominates the router's runtime, so it has
+two implementations that are *exactly* path- and cost-equivalent:
+
+* the **fast path** (:meth:`AStarRouter._search_fast`, the default) maps
+  every window cell to a flat integer index and keeps g-scores, parents,
+  passability, targets and the per-cell cost in flat arrays. Heap entries
+  are 4-tuples ``(f, g, tiebreak, idx)``; the inner loop does list reads
+  instead of tuple hashing, dict probes and numpy scalar indexing. The
+  Eq. (5) overlay grid is served by an :class:`OverlayCostCache` when one
+  is attached, and the sparse rip-up ``penalty_map`` is folded into the
+  flat cost array once per search;
+* the **reference path** (:meth:`AStarRouter._search_reference`) is the
+  original dict-based implementation. It is kept as the executable
+  specification — the equivalence tests assert both produce identical
+  node sequences and costs — and is selected automatically whenever the
+  generic per-cell callbacks (``overlay_cost`` / ``penalty``) are in use,
+  or explicitly via ``use_reference=True``.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from ..errors import RoutingError
 from ..geometry import Point, Segment, points_to_segments
 from ..grid import CellState, Direction, RoutingGrid, Via
 from .cost import CostParams
+from .overlay_cache import OverlayCostCache, overlay_cost_grid
 
 #: A search-space node: (layer, x, y).
 Node = Tuple[int, int, int]
@@ -73,12 +86,21 @@ class AStarRouter:
 
     Cost hooks, in order of preference:
 
-    * ``penalty_map`` — a ``{(layer, x, y): cost}`` dict read directly
-      (the rip-up penalties; cheap);
-    * ``overlay_terms=(gamma, delta_tip)`` — enables the inlined Eq. (5)
-      overlay probe against ``active_net`` (set per routed net);
+    * ``penalty_map`` — a ``{(layer, x, y): cost}`` dict folded into the
+      flat cost array once per search (the rip-up penalties; cheap);
+    * ``overlay_terms=(gamma, delta_tip)`` — enables the Eq. (5)
+      overlay grid against ``active_net`` (set per routed net);
+    * ``overlay_cache`` — an :class:`OverlayCostCache` serving the
+      Eq. (5) grid from memo instead of recomputing it per search;
     * ``overlay_cost`` / ``penalty`` — optional generic per-cell
-      callbacks (slower; used by tests and experiments).
+      callbacks. These route the search through the reference
+      implementation (slower; used by tests and experiments).
+
+    After every :meth:`search`, :attr:`last_outcome` reports ``"found"``,
+    ``"failed"`` (exhausted the window — the target is unreachable), or
+    ``"budget_exhausted"`` (hit ``max_expansions`` — the search ran out
+    of budget, *not* of reachable cells). The rip-up loop uses the
+    distinction to widen window/budget rather than penalise cells.
     """
 
     def __init__(
@@ -89,6 +111,8 @@ class AStarRouter:
         penalty: Optional[Callable[[int, Point], float]] = None,
         penalty_map: Optional[Dict[Tuple[int, int, int], float]] = None,
         overlay_terms: Optional[Tuple[float, float]] = None,
+        overlay_cache: Optional[OverlayCostCache] = None,
+        use_reference: bool = False,
     ) -> None:
         self.grid = grid
         self.params = params
@@ -96,8 +120,24 @@ class AStarRouter:
         self._penalty_cb = penalty
         self._penalty_map = penalty_map
         self._overlay_terms = overlay_terms
+        self._overlay_cache = overlay_cache
+        #: Force the dict-based reference implementation.
+        self.use_reference = use_reference
         #: Net whose own cells are exempt from the inlined overlay probe.
         self.active_net = -1
+        #: Outcome of the most recent search (see class docstring).
+        self.last_outcome = "failed"
+        #: Cumulative counters, always on (plain int adds per search) so
+        #: the perf bench can report expansions/sec with observability off.
+        self.total_searches = 0
+        self.total_expansions = 0
+        self._last_stats = (0, 0, 0)
+        # Layer directions are immutable for a grid's lifetime — hoisted
+        # out of the per-search setup.
+        self._horizontal = [
+            grid.layer_direction(l) is Direction.HORIZONTAL
+            for l in range(grid.num_layers)
+        ]
 
     # ------------------------------------------------------------------ #
     # Search
@@ -113,7 +153,6 @@ class AStarRouter:
         disabled, the only extra work is this predicate.
         """
         ob = obs.get_active()
-        self._last_stats = (0, 0, 0)  # (expansions, heap pushes, heap pops)
         if ob is None:
             return self._search(request, extra_margin)
         with ob.tracer.span(
@@ -124,10 +163,7 @@ class AStarRouter:
         sp.attrs["expansions"] = expansions
         sp.attrs["found"] = result is not None
         reg = ob.registry
-        reg.counter(
-            "astar_searches_total",
-            outcome="found" if result is not None else "failed",
-        ).inc()
+        reg.counter("astar_searches_total", outcome=self.last_outcome).inc()
         reg.counter("astar_nodes_expanded_total").inc(expansions)
         reg.counter("astar_heap_pushes_total").inc(pushes)
         reg.counter("astar_heap_pops_total").inc(pops)
@@ -136,11 +172,264 @@ class AStarRouter:
     def _search(
         self, request: SearchRequest, extra_margin: int = 0
     ) -> Optional[SearchResult]:
+        self._last_stats = (0, 0, 0)
+        self.last_outcome = "failed"
+        if (
+            self.use_reference
+            or self._overlay_cb is not None
+            or self._penalty_cb is not None
+        ):
+            result = self._search_reference(request, extra_margin)
+        else:
+            result = self._search_fast(request, extra_margin)
+        self.total_searches += 1
+        self.total_expansions += self._last_stats[0]
+        if result is not None:
+            self.last_outcome = "found"
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Fast path: flat-index search state
+    # ------------------------------------------------------------------ #
+
+    def _search_fast(
+        self, request: SearchRequest, extra_margin: int = 0
+    ) -> Optional[SearchResult]:
         grid = self.grid
         params = self.params
         net_id = request.net_id
         occ = grid._occ  # hot path: direct array access
-        num_layers, width, height = occ.shape
+        num_layers = occ.shape[0]
+
+        xlo, xhi, ylo, yhi = self._window(request, extra_margin)
+        wx = xhi - xlo + 1
+        wy = yhi - ylo + 1
+        layer_stride = wx * wy
+        n = num_layers * layer_stride
+
+        is_target = bytearray(n)
+        target_pts: List[Point] = []
+        target_layers: List[int] = []
+        for layer, pt in request.targets:
+            if grid.in_bounds(layer, pt) and occ[layer, pt.x, pt.y] in (_FREE, net_id):
+                is_target[layer * layer_stride + (pt.x - xlo) * wy + (pt.y - ylo)] = 1
+                target_pts.append(pt)
+                target_layers.append(layer)
+        if not target_pts:
+            return None
+
+        txlo = min(p.x for p in target_pts)
+        txhi = max(p.x for p in target_pts)
+        tylo = min(p.y for p in target_pts)
+        tyhi = max(p.y for p in target_pts)
+        alpha = params.alpha
+        beta = params.beta
+        wrong_way = alpha * params.wrong_way_factor if params.wrong_way_factor else 0.0
+        horizontal = self._horizontal
+
+        # Window-local flat state: passability, per-cell extra cost,
+        # g-scores and parent links, all indexed by
+        # layer * layer_stride + (x - xlo) * wy + (y - ylo).
+        occ_win = occ[:, xlo : xhi + 1, ylo : yhi + 1]
+        passable = ((occ_win == _FREE) | (occ_win == net_id)).ravel().tolist()
+
+        if self._overlay_terms is not None:
+            own = self.active_net
+            if self._overlay_cache is not None:
+                cost_np = self._overlay_cache.grid_for(own, (xlo, xhi, ylo, yhi))
+            else:
+                gamma, delta_tip = self._overlay_terms
+                cost_np = overlay_cost_grid(
+                    occ, horizontal, (xlo, xhi, ylo, yhi), own, gamma, delta_tip
+                )
+            cost = cost_np.ravel().tolist()
+        else:
+            cost = [0.0] * n
+
+        # Fold the sparse rip-up penalties in once, so the inner loop is
+        # a single list read per neighbour.
+        pen_map = self._penalty_map
+        if pen_map:
+            for (pl, px, py), amount in pen_map.items():
+                if pl < num_layers and xlo <= px <= xhi and ylo <= py <= yhi:
+                    cost[pl * layer_stride + (px - xlo) * wy + (py - ylo)] += amount
+
+        # Admissible via lower bound for the heuristic: moving across a
+        # layer's preferred direction requires reaching a layer of the
+        # other orientation (and possibly coming back for the target).
+        # It depends only on (layer, dx > 0, dy > 0) — tabulated.
+        all_targets_horizontal = all(horizontal[l] for l in target_layers)
+        all_targets_vertical = all(not horizontal[l] for l in target_layers)
+        vb = [0.0] * (num_layers * 4)
+        if not wrong_way:
+            # Wrong-way jogs cross directions without vias; the via lower
+            # bound would overestimate and break admissibility.
+            for layer in range(num_layers):
+                for dx_pos in (0, 1):
+                    for dy_pos in (0, 1):
+                        extra = 0
+                        if dy_pos:
+                            if horizontal[layer]:
+                                extra += 1
+                            if all_targets_horizontal:
+                                extra += 1 if horizontal[layer] else 0
+                        if dx_pos:
+                            if not horizontal[layer]:
+                                extra += 1
+                            if all_targets_vertical:
+                                extra += 1 if not horizontal[layer] else 0
+                        vb[layer * 4 + dx_pos * 2 + dy_pos] = beta * extra
+
+        counter = itertools.count()
+        inf = float("inf")
+        best_g = [inf] * n
+        parent = [-1] * n
+        open_heap: List[Tuple[float, float, int, int]] = []
+
+        for layer, pt in request.sources:
+            if not grid.in_bounds(layer, pt):
+                continue
+            if occ[layer, pt.x, pt.y] not in (_FREE, net_id):
+                continue
+            idx = layer * layer_stride + (pt.x - xlo) * wy + (pt.y - ylo)
+            g = cost[idx]
+            if g < best_g[idx]:
+                best_g[idx] = g
+                dx = txlo - pt.x if pt.x < txlo else (pt.x - txhi if pt.x > txhi else 0)
+                dy = tylo - pt.y if pt.y < tylo else (pt.y - tyhi if pt.y > tyhi else 0)
+                heapq.heappush(
+                    open_heap,
+                    (
+                        g + alpha * (dx + dy) + vb[layer * 4 + (dx > 0) * 2 + (dy > 0)],
+                        g,
+                        next(counter),
+                        idx,
+                    ),
+                )
+        if not open_heap:
+            return None
+
+        expansions = 0
+        pops = 0
+        goal = -1
+        push = heapq.heappush
+        pop = heapq.heappop
+        max_expansions = request.max_expansions
+        while open_heap:
+            f, g, _, idx = pop(open_heap)
+            pops += 1
+            if g > best_g[idx]:
+                continue
+            if is_target[idx]:
+                goal = idx
+                break
+            expansions += 1
+            if expansions > max_expansions:
+                self._last_stats = (expansions, next(counter), pops)
+                self.last_outcome = "budget_exhausted"
+                return None
+
+            layer = idx // layer_stride
+            rem = idx - layer * layer_stride
+            lx = rem // wy
+            ly = rem - lx * wy
+            x = xlo + lx
+            y = ylo + ly
+
+            # In-layer steps: the preferred direction at cost alpha, and —
+            # when enabled — wrong-way jogs at alpha * wrong_way_factor.
+            if horizontal[layer]:
+                steps = ((lx - 1, ly, -wy, alpha), (lx + 1, ly, wy, alpha))
+                if wrong_way:
+                    steps += ((lx, ly - 1, -1, wrong_way), (lx, ly + 1, 1, wrong_way))
+            else:
+                steps = ((lx, ly - 1, -1, alpha), (lx, ly + 1, 1, alpha))
+                if wrong_way:
+                    steps += ((lx - 1, ly, -wy, wrong_way), (lx + 1, ly, wy, wrong_way))
+            for nlx, nly, didx, step_cost in steps:
+                if not (0 <= nlx < wx and 0 <= nly < wy):
+                    continue
+                nidx = idx + didx
+                if not passable[nidx]:
+                    continue
+                ng = g + step_cost + cost[nidx]
+                if ng < best_g[nidx]:
+                    best_g[nidx] = ng
+                    parent[nidx] = idx
+                    nx = xlo + nlx
+                    ny = ylo + nly
+                    dx = txlo - nx if nx < txlo else (nx - txhi if nx > txhi else 0)
+                    dy = tylo - ny if ny < tylo else (ny - tyhi if ny > tyhi else 0)
+                    push(
+                        open_heap,
+                        (
+                            ng
+                            + alpha * (dx + dy)
+                            + vb[layer * 4 + (dx > 0) * 2 + (dy > 0)],
+                            ng,
+                            next(counter),
+                            nidx,
+                        ),
+                    )
+
+            # Via moves.
+            dx = txlo - x if x < txlo else (x - txhi if x > txhi else 0)
+            dy = tylo - y if y < tylo else (y - tyhi if y > tyhi else 0)
+            for nl in (layer - 1, layer + 1):
+                if not 0 <= nl < num_layers:
+                    continue
+                nidx = idx + (nl - layer) * layer_stride
+                if not passable[nidx]:
+                    continue
+                ng = g + beta + cost[nidx]
+                if ng < best_g[nidx]:
+                    best_g[nidx] = ng
+                    parent[nidx] = idx
+                    push(
+                        open_heap,
+                        (
+                            ng
+                            + alpha * (dx + dy)
+                            + vb[nl * 4 + (dx > 0) * 2 + (dy > 0)],
+                            ng,
+                            next(counter),
+                            nidx,
+                        ),
+                    )
+
+        self._last_stats = (expansions, next(counter), pops)
+        if goal < 0:
+            return None
+        nodes: List[Node] = []
+        cur = goal
+        while cur >= 0:
+            layer = cur // layer_stride
+            rem = cur - layer * layer_stride
+            lx = rem // wy
+            nodes.append((layer, xlo + lx, ylo + rem - lx * wy))
+            cur = parent[cur]
+        nodes.reverse()
+        segments, vias = self._lower(nodes)
+        return SearchResult(
+            nodes=nodes,
+            segments=segments,
+            vias=vias,
+            cost=best_g[goal],
+            expansions=expansions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference path: the executable specification
+    # ------------------------------------------------------------------ #
+
+    def _search_reference(
+        self, request: SearchRequest, extra_margin: int = 0
+    ) -> Optional[SearchResult]:
+        grid = self.grid
+        params = self.params
+        net_id = request.net_id
+        occ = grid._occ
+        num_layers = occ.shape[0]
 
         xlo, xhi, ylo, yhi = self._window(request, extra_margin)
         targets = set()
@@ -163,14 +452,13 @@ class AStarRouter:
         pen_map = self._penalty_map
         overlay_cb = self._overlay_cb
         penalty_cb = self._penalty_cb
-        horizontal = [
-            grid.layer_direction(l) is Direction.HORIZONTAL
-            for l in range(num_layers)
-        ]
+        horizontal = self._horizontal
 
         # Precompute the Eq. (5) overlay term over the window: occupancy
         # is frozen during one net's search, so the 2-b / tip-abutment
-        # probes vectorise into a few numpy shifts.
+        # probes vectorise into a few numpy shifts. The reference path
+        # always recomputes from scratch — it is the ground truth the
+        # cached fast path is checked against.
         cost_grid = None
         if use_inline:
             cost_grid = self._overlay_cost_grid(
@@ -266,6 +554,7 @@ class AStarRouter:
             expansions += 1
             if expansions > request.max_expansions:
                 self._last_stats = (expansions, next(counter), pops)
+                self.last_outcome = "budget_exhausted"
                 return None
 
             # In-layer steps: the preferred direction at cost alpha, and —
@@ -349,36 +638,11 @@ class AStarRouter:
     def _overlay_cost_grid(self, occ, horizontal, bounds, own: int):
         """Vectorised Eq. (5) overlay term over the search window.
 
-        For every cell of the window, along the layer's preferred
-        direction: ``delta_tip`` per directly abutting foreign cell and
-        ``gamma`` per foreign cell at distance two behind a free cell
-        (the type 2-b tip gap). Returns ``cost[layer, x - xlo, y - ylo]``.
+        Thin wrapper over :func:`repro.router.overlay_cache.overlay_cost_grid`
+        (kept as a method for the tests and experiments that call it).
         """
-        import numpy as np
-
         gamma, delta_tip = self._overlay_terms
-        xlo, xhi, ylo, yhi = bounds
-        num_layers = occ.shape[0]
-        wx, wy = xhi - xlo + 1, yhi - ylo + 1
-        cost = np.zeros((num_layers, wx, wy), dtype=np.float64)
-        pad = 2
-        sentinel = -9  # neither FREE nor a net id
-        for layer in range(num_layers):
-            view = np.full((wx + 2 * pad, wy + 2 * pad), sentinel, dtype=occ.dtype)
-            src_xlo, src_xhi = max(xlo - pad, 0), min(xhi + pad + 1, occ.shape[1])
-            src_ylo, src_yhi = max(ylo - pad, 0), min(yhi + pad + 1, occ.shape[2])
-            view[
-                src_xlo - (xlo - pad) : src_xhi - (xlo - pad),
-                src_ylo - (ylo - pad) : src_yhi - (ylo - pad),
-            ] = occ[layer, src_xlo:src_xhi, src_ylo:src_yhi]
-            axis = 0 if horizontal[layer] else 1
-            for sign in (1, -1):
-                mid = np.roll(view, -sign, axis=axis)[pad:-pad, pad:-pad]
-                far = np.roll(view, -2 * sign, axis=axis)[pad:-pad, pad:-pad]
-                foreign_mid = (mid >= 0) & (mid != own)
-                tip_gap = (mid == _FREE) & (far >= 0) & (far != own)
-                cost[layer] += delta_tip * foreign_mid + gamma * tip_gap
-        return cost
+        return overlay_cost_grid(occ, horizontal, bounds, own, gamma, delta_tip)
 
     def _window(
         self, request: SearchRequest, extra_margin: int

@@ -39,6 +39,7 @@ from ..grid import CellState, Direction, RoutingGrid
 from ..netlist import Net, Netlist
 from .astar import AStarRouter, SearchRequest, SearchResult
 from .cost import CostParams, PAPER_PARAMS
+from .overlay_cache import OverlayCostCache
 from .result import NetRoute, RoutingResult
 
 
@@ -83,6 +84,15 @@ class SadpRouter:
         self._committed: Set[int] = set()
         self._evicted_routes: Dict[int, NetRoute] = {}
 
+        #: Memoised Eq. (5) cost grids, invalidated incrementally through
+        #: the grid's change-listener hook as commits/rip-ups/evictions
+        #: touch occupancy — retries of a net only pay for the cells that
+        #: actually changed, not a full re-vectorisation.
+        self.overlay_cache: Optional[OverlayCostCache] = (
+            OverlayCostCache(grid, params.gamma, params.delta_tip)
+            if enable_t2b_penalty
+            else None
+        )
         self.engine = AStarRouter(
             grid,
             params,
@@ -90,6 +100,7 @@ class SadpRouter:
             overlay_terms=(
                 (params.gamma, params.delta_tip) if enable_t2b_penalty else None
             ),
+            overlay_cache=self.overlay_cache,
         )
         self._reserve_pins()
 
@@ -270,6 +281,14 @@ class SadpRouter:
             if found is not None and net.taps:
                 found = self._connect_taps(net, found, margin)
             if found is None:
+                if self.engine.last_outcome == "budget_exhausted":
+                    # The search ran out of budget, not of reachable
+                    # cells: the next attempt's wider window needs a
+                    # bigger budget, and penalising cells would steer
+                    # the retry away from cells that were never the
+                    # problem. Double the budget and retry.
+                    request.max_expansions *= 2
+                    obs.counter_inc("astar_budget_doublings_total")
                 continue
             if self._commit(net.net_id, found, route):
                 route.success = True

@@ -1,0 +1,107 @@
+"""The perf bench: payload shape, regression gate, JSON row export."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.perf import check_against_baseline, run_perf
+from repro.bench.runner import BenchRow, append_rows_json, rows_to_json
+
+
+def _row(circuit="Test1", cpu=1.0):
+    return BenchRow(
+        circuit=circuit,
+        router="ours",
+        num_nets=10,
+        routability_pct=100.0,
+        overlay_nm=40.0,
+        overlay_units=1.0,
+        conflicts=0,
+        cpu_s=cpu,
+    )
+
+
+class TestPerfRun:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_perf(
+            workloads=["Test1"],
+            scales={"Test1": 0.06},
+            rounds=1,
+            include_phases=False,
+            verbose=False,
+        )
+
+    def test_payload_shape(self, payload):
+        assert payload["schema"] == "repro-bench-perf/1"
+        (wl,) = payload["workloads"]
+        assert wl["circuit"] == "Test1"
+        for mode in ("fast", "reference"):
+            assert wl[mode]["route_all_s"] > 0
+            assert wl[mode]["expansions"] > 0
+            assert wl[mode]["expansions_per_s"] > 0
+        assert "speedup" in wl and wl["speedup"] > 0
+        assert "walltime_reduction_pct" in wl
+        assert "summary" in payload
+
+    def test_modes_agree_on_quality(self, payload):
+        (wl,) = payload["workloads"]
+        # Equivalent implementations: identical routing quality.
+        assert wl["fast"]["routability_pct"] == wl["reference"]["routability_pct"]
+        assert wl["fast"]["overlay_units"] == wl["reference"]["overlay_units"]
+        assert wl["fast"]["expansions"] == wl["reference"]["expansions"]
+
+    def test_self_check_passes(self, payload):
+        assert check_against_baseline(payload, payload, tolerance=0.30) == []
+
+    def test_refuses_to_run_instrumented(self):
+        with obs.session():
+            with pytest.raises(RuntimeError):
+                run_perf(workloads=["Test1"], rounds=1, verbose=False)
+
+
+class TestRegressionGate:
+    def _payload(self, speedup):
+        return {
+            "schema": "repro-bench-perf/1",
+            "workloads": [{"circuit": "Test1", "speedup": speedup}],
+        }
+
+    def test_within_tolerance_passes(self):
+        assert (
+            check_against_baseline(
+                self._payload(1.10), self._payload(1.40), tolerance=0.30
+            )
+            == []
+        )
+
+    def test_regression_fails(self):
+        problems = check_against_baseline(
+            self._payload(0.90), self._payload(1.40), tolerance=0.30
+        )
+        assert problems and "Test1" in problems[0]
+
+    def test_disjoint_workloads_flagged(self):
+        current = {"workloads": [{"circuit": "Test2", "speedup": 1.5}]}
+        problems = check_against_baseline(current, self._payload(1.4))
+        assert problems
+
+
+class TestRowsJson:
+    def test_rows_to_json_round_trips(self):
+        doc = json.loads(rows_to_json([_row()], caption="t", scale=0.1))
+        assert doc["schema"] == "repro-bench-rows/1"
+        assert doc["caption"] == "t"
+        (row,) = doc["rows"]
+        assert row["circuit"] == "Test1"
+        assert row["scale"] == 0.1
+        assert row["cpu_s"] == 1.0
+
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "table.json"
+        append_rows_json(path, [_row(cpu=1.0)], scale=0.1)
+        append_rows_json(path, [_row("Test2", cpu=2.0)], scale=0.2)
+        doc = json.loads(path.read_text())
+        assert [r["circuit"] for r in doc["rows"]] == ["Test1", "Test2"]
+        assert [r["scale"] for r in doc["rows"]] == [0.1, 0.2]
