@@ -84,13 +84,25 @@ class WorkloadResult:
     seed: int
     fast: ModeSample
     reference: Optional[ModeSample] = None
+    parallel: Optional[ModeSample] = None
+    parallel_stats: Optional[dict] = None
     phases: Dict[str, float] = field(default_factory=dict)
+    #: route_all wall time of the instrumented phase-split run. The phase
+    #: buckets are disjoint self-time slices of this run, so
+    #: ``sum(phases_s.values()) <= phases_route_all_s`` holds exactly.
+    phases_route_all_s: float = 0.0
 
     @property
     def speedup(self) -> Optional[float]:
         if self.reference is None or self.fast.route_all_s <= 0:
             return None
         return self.reference.route_all_s / self.fast.route_all_s
+
+    @property
+    def parallel_speedup(self) -> Optional[float]:
+        if self.parallel is None or self.parallel.route_all_s <= 0:
+            return None
+        return self.fast.route_all_s / self.parallel.route_all_s
 
     def to_dict(self) -> dict:
         out = {
@@ -105,44 +117,73 @@ class WorkloadResult:
             out["walltime_reduction_pct"] = round(
                 (1.0 - self.fast.route_all_s / self.reference.route_all_s) * 100.0, 2
             )
+        if self.parallel is not None:
+            out["parallel"] = self.parallel.to_dict()
+            out["parallel_speedup"] = round(self.parallel_speedup, 4)
+            if self.parallel_stats is not None:
+                out["parallel_stats"] = self.parallel_stats
         if self.phases:
             out["phases_s"] = {k: round(v, 6) for k, v in self.phases.items()}
+            out["phases_route_all_s"] = round(self.phases_route_all_s, 6)
         return out
 
 
 def _run_once(
-    circuit: str, scale: float, seed: int, use_reference: bool
-) -> Tuple[float, int, int, float, float]:
+    circuit: str,
+    scale: float,
+    seed: int,
+    use_reference: bool,
+    workers: int = 1,
+    executor: str = "process",
+) -> Tuple[float, int, int, float, float, Optional[dict]]:
     """One fresh instance + route_all; returns (wall_s, expansions,
-    searches, routability_pct, overlay_units)."""
+    searches, routability_pct, overlay_units, parallel_stats)."""
     spec = spec_by_name(circuit)
     grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
-    router = SadpRouter(grid, nets)
+    router = SadpRouter(grid, nets, workers=workers, executor=executor)
     router.engine.use_reference = use_reference
     t0 = time.perf_counter()
     result = router.route_all()
     wall = time.perf_counter() - t0
+    stats = (
+        router.parallel_stats.to_dict()
+        if router.parallel_stats is not None
+        else None
+    )
     return (
         wall,
         router.engine.total_expansions,
         router.engine.total_searches,
         result.routability * 100.0,
         result.overlay_units,
+        stats,
     )
 
 
-def _phase_split(circuit: str, scale: float, seed: int) -> Dict[str, float]:
-    """One instrumented (untimed-for-comparison) run for the phase split."""
+def _phase_split(circuit: str, scale: float, seed: int) -> Tuple[Dict[str, float], float]:
+    """One instrumented (untimed-for-comparison) run for the phase split.
+
+    Returns (phase seconds, route_all seconds of that same run). The
+    buckets are disjoint — ``commit`` is measured as the commit span's
+    *self* time — so their sum never exceeds the route_all total.
+    """
     spec = spec_by_name(circuit)
     grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
     with obs.session():
         before = dict(phase_totals())
         SadpRouter(grid, nets).route_all()
         after = phase_totals()
-    return {
+        ob = obs.get_active()
+        route_all_s = (
+            ob.tracer.totals_by_name().get("route_all", 0.0)
+            if ob is not None
+            else 0.0
+        )
+    phases = {
         phase: after.get(phase, 0.0) - before.get(phase, 0.0)
-        for phase in ("search", "graph", "flip")
+        for phase in ("search", "graph", "flip", "commit")
     }
+    return phases, route_all_s
 
 
 def run_perf(
@@ -152,9 +193,18 @@ def run_perf(
     rounds: int = 3,
     include_reference: bool = True,
     include_phases: bool = True,
+    workers: int = 1,
+    executor: str = "process",
     verbose: bool = True,
 ) -> dict:
-    """Run the perf bench; returns the ``BENCH_perf.json`` payload."""
+    """Run the perf bench; returns the ``BENCH_perf.json`` payload.
+
+    With ``workers > 1`` each workload also runs through the parallel
+    batch-routing engine (same instance, same seed) and the payload
+    grows ``parallel`` / ``parallel_speedup`` / ``parallel_stats``
+    fields; :func:`check_parallel_equivalence` gates that the parallel
+    run produced identical routability and overlay.
+    """
     if obs.is_enabled():
         raise RuntimeError(
             "perf bench must run with observability off (it measures the "
@@ -165,18 +215,27 @@ def run_perf(
     for circuit in workloads:
         scale = scales.get(circuit, 0.15)
         modes = ["reference", "fast"] if include_reference else ["fast"]
-        samples: Dict[str, List[Tuple[float, int, int, float, float]]] = {
+        if workers > 1:
+            modes.append("parallel")
+        samples: Dict[str, List[Tuple[float, int, int, float, float, Optional[dict]]]] = {
             m: [] for m in modes
         }
         for _ in range(rounds):
-            for mode in modes:  # interleaved: both modes see the same drift
+            for mode in modes:  # interleaved: all modes see the same drift
                 samples[mode].append(
-                    _run_once(circuit, scale, seed, use_reference=(mode == "reference"))
+                    _run_once(
+                        circuit,
+                        scale,
+                        seed,
+                        use_reference=(mode == "reference"),
+                        workers=workers if mode == "parallel" else 1,
+                        executor=executor,
+                    )
                 )
         def best(mode: str) -> ModeSample:
             runs = samples[mode]
             idx = min(range(len(runs)), key=lambda i: runs[i][0])
-            wall, exp, searches, rout, ovl = runs[idx]
+            wall, exp, searches, rout, ovl, _ = runs[idx]
             return ModeSample(
                 route_all_s=wall,
                 rounds_s=[r[0] for r in runs],
@@ -192,8 +251,13 @@ def run_perf(
             fast=best("fast"),
             reference=best("reference") if include_reference else None,
         )
+        if workers > 1:
+            wl.parallel = best("parallel")
+            runs = samples["parallel"]
+            idx = min(range(len(runs)), key=lambda i: runs[i][0])
+            wl.parallel_stats = runs[idx][5]
         if include_phases:
-            wl.phases = _phase_split(circuit, scale, seed)
+            wl.phases, wl.phases_route_all_s = _phase_split(circuit, scale, seed)
         results.append(wl)
         if verbose:
             line = (
@@ -204,6 +268,11 @@ def run_perf(
                 line += (
                     f", reference {wl.reference.route_all_s:.3f}s"
                     f" -> speedup {wl.speedup:.2f}x"
+                )
+            if wl.parallel is not None:
+                line += (
+                    f", parallel({workers}w) {wl.parallel.route_all_s:.3f}s"
+                    f" -> {wl.parallel_speedup:.2f}x"
                 )
             print(line)
     payload = {
@@ -220,6 +289,7 @@ def run_perf(
             "scales": {c: scales.get(c, 0.15) for c in workloads},
             "observability": "off",
             "timing": "interleaved, best-of-rounds",
+            "workers": workers,
         },
         "workloads": [wl.to_dict() for wl in results],
     }
@@ -233,6 +303,34 @@ def run_perf(
             "min_speedup": round(min(speedups), 4),
         }
     return payload
+
+
+def check_parallel_equivalence(payload: dict) -> List[str]:
+    """Determinism gate: parallel runs must match sequential exactly.
+
+    The batch scheduler guarantees bit-identical results for any worker
+    count; this check enforces the observable half of that guarantee —
+    identical routability and overlay units between the ``fast``
+    (sequential) and ``parallel`` samples of every workload. Returns a
+    list of problems (empty = pass).
+    """
+    problems: List[str] = []
+    for wl in payload.get("workloads", []):
+        par = wl.get("parallel")
+        if par is None:
+            continue
+        fast = wl["fast"]
+        if par["routability_pct"] != fast["routability_pct"]:
+            problems.append(
+                f"{wl['circuit']}: parallel routability "
+                f"{par['routability_pct']} != sequential {fast['routability_pct']}"
+            )
+        if par["overlay_units"] != fast["overlay_units"]:
+            problems.append(
+                f"{wl['circuit']}: parallel overlay {par['overlay_units']} "
+                f"!= sequential {fast['overlay_units']}"
+            )
+    return problems
 
 
 def check_against_baseline(
@@ -295,6 +393,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-phases", action="store_true", help="skip the instrumented phase split"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also time the parallel batch router with N workers and gate "
+        "its results against the sequential run",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="worker pool kind for the parallel runs",
+    )
+    parser.add_argument(
         "--check",
         default=None,
         help="baseline BENCH_perf.json to gate speedup regressions against",
@@ -318,7 +429,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rounds=args.rounds,
         include_reference=not args.no_reference,
         include_phases=not args.no_phases,
+        workers=args.workers,
+        executor=args.executor,
     )
+    if args.workers > 1:
+        eq_problems = check_parallel_equivalence(payload)
+        if eq_problems:
+            for problem in eq_problems:
+                print(f"PARALLEL MISMATCH: {problem}", file=sys.stderr)
+            return 1
+        print(f"parallel equivalence at --workers {args.workers}: OK")
     if "summary" in payload:
         print(
             f"geomean speedup {payload['summary']['geomean_speedup']:.2f}x "

@@ -38,6 +38,7 @@ class BenchRow:
     search_s: float = 0.0
     graph_s: float = 0.0
     flip_s: float = 0.0
+    commit_s: float = 0.0
 
     @classmethod
     def from_result(
@@ -58,7 +59,7 @@ class BenchRow:
 
     @property
     def has_phases(self) -> bool:
-        return (self.search_s + self.graph_s + self.flip_s) > 0.0
+        return (self.search_s + self.graph_s + self.flip_s + self.commit_s) > 0.0
 
     def to_dict(self, **meta) -> Dict:
         """The row as a flat JSON-ready dict; ``meta`` (e.g. scale/seed)
@@ -75,6 +76,7 @@ def _fill_phases(row: BenchRow, before: Dict[str, float]) -> BenchRow:
         row.search_s = after.get("search", 0.0) - before.get("search", 0.0)
         row.graph_s = after.get("graph", 0.0) - before.get("graph", 0.0)
         row.flip_s = after.get("flip", 0.0) - before.get("flip", 0.0)
+        row.commit_s = after.get("commit", 0.0) - before.get("commit", 0.0)
     return row
 
 
@@ -121,7 +123,10 @@ def rows_to_table(rows: List[BenchRow], caption: str = "") -> str:
         f"{'Overlay(nm)':>12s} {'Units':>8s} {'#C':>5s} {'CPU(s)':>8s}"
     )
     if with_phases:
-        header += f" {'search(s)':>10s} {'graph(s)':>9s} {'flip(s)':>8s}"
+        header += (
+            f" {'search(s)':>10s} {'graph(s)':>9s} {'flip(s)':>8s}"
+            f" {'commit(s)':>10s}"
+        )
     lines = []
     if caption:
         lines.append(caption)
@@ -134,7 +139,10 @@ def rows_to_table(rows: List[BenchRow], caption: str = "") -> str:
             f"{row.overlay_units:8.0f} {row.conflicts:5d} {row.cpu_s:8.2f}"
         )
         if with_phases:
-            line += f" {row.search_s:10.4f} {row.graph_s:9.4f} {row.flip_s:8.4f}"
+            line += (
+                f" {row.search_s:10.4f} {row.graph_s:9.4f} {row.flip_s:8.4f}"
+                f" {row.commit_s:10.4f}"
+            )
         lines.append(line)
     return "\n".join(lines)
 

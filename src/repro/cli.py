@@ -79,7 +79,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         targets = range(grid.num_layers) if layer < 0 else (layer,)
         for l in targets:
             grid.block(l, rect)
-    router = SadpRouter(grid, netlist)
+    router = SadpRouter(grid, netlist, workers=args.workers)
     trace = RouterTrace(router) if args.trace else None
     result = router.route_all()
     print(result.summary())
@@ -105,7 +105,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     observing = _obs_begin(args)
     spec = spec_by_name(args.circuit)
     if args.router == "ours":
-        row = run_proposed(spec, scale=args.scale, seed=args.seed)
+        row = run_proposed(
+            spec, scale=args.scale, seed=args.seed, workers=args.workers
+        )
     else:
         factory = {
             "gao-pan": GaoPanTrimRouter,
@@ -165,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--svg", help="render a routed layer as SVG")
     route.add_argument("--svg-layer", type=int, default=0, help="layer to render")
     route.add_argument("--report", action="store_true", help="print the full analysis report")
+    _add_workers_flag(route)
     _add_obs_flags(route)
     route.set_defaults(func=_cmd_route)
 
@@ -178,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="ours",
         help="which router to run",
     )
+    _add_workers_flag(bench)
     _add_obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
 
@@ -190,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("logfile", help="run log written by --trace")
     validate.set_defaults(func=_cmd_validate_trace)
     return parser
+
+
+def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="route independent nets in parallel with N workers "
+        "(results are bit-identical to --workers 1)",
+    )
 
 
 def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:

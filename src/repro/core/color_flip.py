@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..color import Color
 from .constraint_graph import OverlayConstraintGraph
 from .edges import ConstraintEdge
@@ -62,9 +63,13 @@ class _UnitGraph:
         if a > b:
             a, b = b, a
             matrix = [[matrix[j][i] for j in range(2)] for i in range(2)]
-        if (a, b) not in self.pair_cost:
-            self.pair_cost[(a, b)] = _zero_matrix()
-        acc = self.pair_cost[(a, b)]
+        acc = self.pair_cost.get((a, b))
+        if acc is None:
+            # Adopt the caller's matrix outright — callers hand over a
+            # fresh one per edge, so no zero-matrix allocation is needed
+            # (and 0.0 + x == x bit-exactly for these non-negative costs).
+            self.pair_cost[(a, b)] = matrix
+            return
         for i in range(2):
             for j in range(2):
                 acc[i][j] += matrix[i][j]
@@ -102,12 +107,18 @@ def _contract(
                 cv = color if pv == 0 else color.flipped
                 ug.self_cost[root_u][_IDX[color]] += edge.dp_cost(cu, cv)
         else:
-            matrix = _zero_matrix()
-            for ca in _COLORS:
-                for cb in _COLORS:
-                    cu = ca if pu == 0 else ca.flipped
-                    cv = cb if pv == 0 else cb.flipped
-                    matrix[_IDX[ca]][_IDX[cb]] = edge.dp_cost(cu, cv)
+            # Built as a literal (in _COLORS == _IDX order) — no scratch
+            # zero matrix per soft edge.
+            matrix = [
+                [
+                    edge.dp_cost(
+                        ca if pu == 0 else ca.flipped,
+                        cb if pv == 0 else cb.flipped,
+                    )
+                    for cb in _COLORS
+                ]
+                for ca in _COLORS
+            ]
             ug.add_pair_cost(root_u, root_v, matrix)
     return ug
 
@@ -196,6 +207,15 @@ def flip_colors(
     Returns a fresh net -> color mapping for every net in scope. Raises
     :class:`~repro.errors.ColoringError` when the hard edges alone are
     unsatisfiable (the router prevents this by construction).
+
+    Results are memoised per component on the graph itself (keyed by the
+    component's smallest net and versioned by its mutation stamps): the
+    endgame's repeated full-layout flips and the per-commit component
+    flips only re-run the contraction + spanning forest + DP for
+    components something actually changed in. The cache is exact — a hit
+    requires identical membership and no structural mutation since the
+    entry was stored — so cached and fresh colorings are identical;
+    ``graph.flip_cache_enabled = False`` disables it outright.
     """
     from ..errors import ColoringError
 
@@ -209,31 +229,59 @@ def flip_colors(
             components.append(comp)
             remaining -= comp
 
+    cache = getattr(graph, "flip_cache", None)
+    if cache is not None and not getattr(graph, "flip_cache_enabled", False):
+        cache = None
+
     result: Dict[int, Color] = {}
     for comp in components:
-        edges = graph.edges_within(comp)
-        ug = _contract(edges, comp)
-        if ug is None:
-            raise ColoringError("hard-constraint odd cycle: no legal coloring")
-        adjacency = _maximum_spanning_forest(ug)
-        # The forest may still have several trees (soft edges need not
-        # connect all units); DP each tree from its smallest unit.
-        unit_colors: Dict[int, Color] = {}
-        seen: Set[int] = set()
-        for unit in ug.units:
-            if unit in seen:
+        key = version = None
+        if cache is not None:
+            key = (min(comp), refine)
+            version = graph.component_version(comp)
+            hit = cache.get(key)
+            if hit is not None and hit[0] == version and hit[1] == comp:
+                result.update(hit[2])
+                obs.counter_inc("flip_cache_lookups_total", outcome="hit")
                 continue
-            tree_nodes = _reachable(adjacency, unit)
-            seen |= tree_nodes
-            tree_colors, _ = optimal_tree_coloring(
-                {n: adjacency[n] for n in tree_nodes}, ug.self_cost, unit
-            )
-            unit_colors.update(tree_colors)
-        if refine:
-            _refine_unit_colors(ug, unit_colors)
-        for u, color in unit_colors.items():
-            for net, parity in ug.members[u]:
-                result[net] = color if parity == 0 else color.flipped
+        comp_colors = _color_component(graph, comp, refine, ColoringError)
+        if cache is not None:
+            if len(cache) > 1024:
+                cache.clear()  # bounded; cleared wholesale on overflow
+            cache[key] = (version, frozenset(comp), comp_colors)
+            obs.counter_inc("flip_cache_lookups_total", outcome="miss")
+        result.update(comp_colors)
+    return result
+
+
+def _color_component(
+    graph: OverlayConstraintGraph, comp: Set[int], refine: bool, ColoringError
+) -> Dict[int, Color]:
+    """Contract + maximum spanning forest + DP (+ refine) for one component."""
+    edges = graph.edges_within(comp)
+    ug = _contract(edges, comp)
+    if ug is None:
+        raise ColoringError("hard-constraint odd cycle: no legal coloring")
+    adjacency = _maximum_spanning_forest(ug)
+    # The forest may still have several trees (soft edges need not
+    # connect all units); DP each tree from its smallest unit.
+    unit_colors: Dict[int, Color] = {}
+    seen: Set[int] = set()
+    for unit in ug.units:
+        if unit in seen:
+            continue
+        tree_nodes = _reachable(adjacency, unit)
+        seen |= tree_nodes
+        tree_colors, _ = optimal_tree_coloring(
+            {n: adjacency[n] for n in tree_nodes}, ug.self_cost, unit
+        )
+        unit_colors.update(tree_colors)
+    if refine:
+        _refine_unit_colors(ug, unit_colors)
+    result: Dict[int, Color] = {}
+    for u, color in unit_colors.items():
+        for net, parity in ug.members[u]:
+            result[net] = color if parity == 0 else color.flipped
     return result
 
 

@@ -42,6 +42,21 @@ class OverlayConstraintGraph:
         self._incident: Dict[int, List[ConstraintEdge]] = defaultdict(list)
         self._hard_uf = ParityUnionFind()
         self._vertices: Set[int] = set()
+        # Mutation stamps: every structural change bumps the graph stamp
+        # and marks the touched nets with it, so a connected component's
+        # version (max member stamp) is cheap to compute and changes iff
+        # anything inside the component changed. flip_colors keys its
+        # per-component result cache on this.
+        self._stamp = 0
+        self._net_stamp: Dict[int, int] = {}
+        #: flip_colors result cache: (min(component), refine) ->
+        #: (version, members, colors). Owned by the graph so it lives and
+        #: dies with the structure it mirrors; ``flip_cache_enabled``
+        #: turns it off for A/B equivalence tests.
+        self.flip_cache: Dict[
+            Tuple[int, bool], Tuple[int, frozenset, Dict[int, Color]]
+        ] = {}
+        self.flip_cache_enabled = True
         # Union-find op accounting across rebuilds (retired = ops made by
         # union-finds that were since thrown away; published = what the
         # metrics registry has already been told).
@@ -70,7 +85,20 @@ class OverlayConstraintGraph:
 
     def add_vertex(self, net_id: int) -> None:
         """Register a net even if it has no scenario yet (isolated vertex)."""
-        self._vertices.add(net_id)
+        if net_id not in self._vertices:
+            self._vertices.add(net_id)
+            self._touch((net_id,))
+
+    def _touch(self, nets: Iterable[int]) -> None:
+        self._stamp += 1
+        stamp = self._stamp
+        for net in nets:
+            self._net_stamp[net] = stamp
+
+    def component_version(self, nets: Iterable[int]) -> int:
+        """Monotone version of a component: max mutation stamp over it."""
+        get = self._net_stamp.get
+        return max((get(net, 0) for net in nets), default=0)
 
     def add_edges(self, edges: Iterable[ConstraintEdge]) -> List[ConstraintEdge]:
         """Insert scenario edges; returns the hard edges that closed odd
@@ -83,12 +111,15 @@ class OverlayConstraintGraph:
         """
         offenders: List[ConstraintEdge] = []
         ob = obs.get_active()
+        touched: Set[int] = set()
         for edge in edges:
             self._edges.append(edge)
             self._incident[edge.u].append(edge)
             self._incident[edge.v].append(edge)
             self._vertices.add(edge.u)
             self._vertices.add(edge.v)
+            touched.add(edge.u)
+            touched.add(edge.v)
             if ob is not None:
                 ob.registry.counter(
                     "ocg_edges_added_total", kind=edge.kind.value
@@ -98,6 +129,8 @@ class OverlayConstraintGraph:
                     offenders.append(edge)
                     if ob is not None:
                         ob.registry.counter("ocg_odd_cycle_hits_total").inc()
+        if touched:
+            self._touch(touched)
         if ob is not None:
             self._flush_uf_stats(ob)
         return offenders
@@ -110,17 +143,21 @@ class OverlayConstraintGraph:
         which rip-up frequency keeps negligible).
         """
         incident = self._incident.pop(net_id, [])
+        self._net_stamp.pop(net_id, None)
         if not incident:
             self._vertices.discard(net_id)
             return 0
         doomed = set(map(id, incident))
         self._edges = [e for e in self._edges if id(e) not in doomed]
+        neighbours = set()
         for edge in incident:
             other = edge.other(net_id)
+            neighbours.add(other)
             self._incident[other] = [
                 e for e in self._incident[other] if id(e) not in doomed
             ]
         self._vertices.discard(net_id)
+        self._touch(neighbours)
         self._rebuild_hard_uf()
         return len(incident)
 

@@ -28,8 +28,17 @@ PHASE_SPANS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("search", ("astar_search",)),
     ("graph", ("ocg_update",)),
     ("flip", ("pseudo_color", "color_flip")),
+    ("commit", ("cut_check",)),
     ("decompose", ("synthesize_masks",)),
 )
+
+#: Span names whose *self* time (duration minus nested children) is folded
+#: into a phase. ``commit_net`` wraps the whole commit path — occupancy
+#: writes, scenario bookkeeping, cut registration — but also contains the
+#: ``ocg_update``/``pseudo_color``/``cut_check`` spans priced elsewhere;
+#: counting only its self time keeps the phase split disjoint, making
+#: ``sum(phases) <= route_all`` hold by construction.
+SELF_PHASE_SPANS: Dict[str, Tuple[str, ...]] = {"commit": ("commit_net",)}
 
 
 def _backend(observability):
@@ -213,10 +222,14 @@ def phase_totals(observability=None) -> Dict[str, float]:
     if ob is None:
         return {}
     totals = ob.tracer.totals_by_name()
-    return {
-        phase: sum(totals.get(name, 0.0) for name in names)
-        for phase, names in PHASE_SPANS
-    }
+    self_totals = ob.tracer.self_totals_by_name()
+    out: Dict[str, float] = {}
+    for phase, names in PHASE_SPANS:
+        seconds = sum(totals.get(name, 0.0) for name in names)
+        for name in SELF_PHASE_SPANS.get(phase, ()):
+            seconds += self_totals.get(name, 0.0)
+        out[phase] = seconds
+    return out
 
 
 def phase_table(observability=None, total_span: str = "route_all") -> str:
@@ -238,7 +251,9 @@ def phase_table(observability=None, total_span: str = "route_all") -> str:
     accounted = 0.0
     for phase, names in PHASE_SPANS:
         seconds = phases.get(phase, 0.0)
-        n = sum(counts.get(name, 0) for name in names)
+        n = sum(counts.get(name, 0) for name in names) + sum(
+            counts.get(name, 0) for name in SELF_PHASE_SPANS.get(phase, ())
+        )
         if n == 0:
             continue
         accounted += seconds

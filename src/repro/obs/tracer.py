@@ -107,6 +107,29 @@ class Tracer:
             totals[sp.name] = totals.get(sp.name, 0.0) + sp.duration_s
         return totals
 
+    def self_totals_by_name(self) -> Dict[str, float]:
+        """Total *self* seconds per span name: duration minus direct children.
+
+        Unlike :meth:`totals_by_name`, nested spans are not double
+        counted — a container span (``commit_net``) contributes only the
+        time not already attributed to the instrumented spans inside it.
+        The per-phase report uses this to make the phase split exhaustive.
+        """
+        child_sum: Dict[int, float] = {}
+        for sp in self.finished:
+            if sp.parent_id is not None:
+                child_sum[sp.parent_id] = (
+                    child_sum.get(sp.parent_id, 0.0) + sp.duration_s
+                )
+        totals: Dict[str, float] = {}
+        for sp in self.finished:
+            totals[sp.name] = (
+                totals.get(sp.name, 0.0)
+                + sp.duration_s
+                - child_sum.get(sp.span_id, 0.0)
+            )
+        return totals
+
     def counts_by_name(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for sp in self.finished:

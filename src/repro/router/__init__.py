@@ -8,8 +8,16 @@ returns a fully colored, conflict-free routing result.
 """
 
 from .cost import CostParams
-from .astar import AStarRouter, SearchRequest
+from .astar import (
+    AStarRouter,
+    PrecomputedAttempt,
+    SearchRequest,
+    SearchSubproblem,
+    SubproblemResult,
+    solve_subproblem,
+)
 from .overlay_cache import OverlayCostCache, overlay_cost_grid, probe_cell
+from .parallel import BatchScheduler, ParallelRouter, ParallelStats
 from .result import NetRoute, RoutingResult
 from .sadp_router import SadpRouter
 from .trace import RouterTrace, TraceEvent
@@ -18,10 +26,17 @@ from .io import load_result, save_result
 __all__ = [
     "CostParams",
     "AStarRouter",
+    "PrecomputedAttempt",
     "SearchRequest",
+    "SearchSubproblem",
+    "SubproblemResult",
+    "solve_subproblem",
     "OverlayCostCache",
     "overlay_cost_grid",
     "probe_cell",
+    "BatchScheduler",
+    "ParallelRouter",
+    "ParallelStats",
     "NetRoute",
     "RoutingResult",
     "SadpRouter",

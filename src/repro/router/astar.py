@@ -45,7 +45,26 @@ from .overlay_cache import OverlayCostCache, overlay_cost_grid
 #: A search-space node: (layer, x, y).
 Node = Tuple[int, int, int]
 
+#: A window over the grid plane: (xlo, xhi, ylo, yhi), inclusive.
+Bounds = Tuple[int, int, int, int]
+
 _FREE = int(CellState.FREE)
+
+
+def search_window(
+    pts: Sequence[Point], margin: int, width: int, height: int
+) -> Bounds:
+    """The A* window for a point set: bbox + margin, clipped to the die.
+
+    Single source of truth shared by :meth:`AStarRouter._window` and the
+    parallel batch scheduler — the worker-side window-parity guard relies
+    on both sides computing windows with exactly this function.
+    """
+    xlo = max(0, min(p.x for p in pts) - margin)
+    xhi = min(width - 1, max(p.x for p in pts) + margin)
+    ylo = max(0, min(p.y for p in pts) - margin)
+    yhi = min(height - 1, max(p.y for p in pts) + margin)
+    return xlo, xhi, ylo, yhi
 
 
 @dataclass
@@ -648,12 +667,12 @@ class AStarRouter:
         self, request: SearchRequest, extra_margin: int
     ) -> Tuple[int, int, int, int]:
         pts = [pt for _, pt in request.sources] + [pt for _, pt in request.targets]
-        margin = self.params.search_margin + extra_margin
-        xlo = max(0, min(p.x for p in pts) - margin)
-        xhi = min(self.grid.width - 1, max(p.x for p in pts) + margin)
-        ylo = max(0, min(p.y for p in pts) - margin)
-        yhi = min(self.grid.height - 1, max(p.y for p in pts) + margin)
-        return xlo, xhi, ylo, yhi
+        return search_window(
+            pts,
+            self.params.search_margin + extra_margin,
+            self.grid.width,
+            self.grid.height,
+        )
 
     @staticmethod
     def _backtrace(parent: Dict[Node, Optional[Node]], goal: Node) -> List[Node]:
@@ -683,3 +702,318 @@ class AStarRouter:
         if run:
             segments.extend(points_to_segments(run_layer, run))
         return segments, vias
+
+
+# ---------------------------------------------------------------------- #
+# Steiner extension (shared by the router and the parallel workers)
+# ---------------------------------------------------------------------- #
+
+
+def extend_with_taps(
+    search: Callable[[SearchRequest], Optional[SearchResult]],
+    net_id: int,
+    tap_groups: Sequence[Tuple[int, Sequence[Point]]],
+    trunk: SearchResult,
+) -> Optional[SearchResult]:
+    """Sequential Steiner extension: attach each tap to the grown tree.
+
+    Every tap search treats all cells of the tree built so far as sources,
+    so branches start wherever is cheapest. ``search`` is the caller's
+    search primitive — the router closes over its engine and rip-up
+    margin, the parallel worker over its window-guarded snapshot engine —
+    so both sides share one tree-growing loop and cannot drift apart.
+    Returns the combined result, or None when any tap is unreachable.
+    """
+    nodes = list(trunk.nodes)
+    node_set = set(nodes)
+    segments = list(trunk.segments)
+    vias = list(trunk.vias)
+    cost = trunk.cost
+    expansions = trunk.expansions
+    for layer, candidates in tap_groups:
+        request = SearchRequest(
+            net_id=net_id,
+            sources=[(node_layer, Point(x, y)) for node_layer, x, y in nodes],
+            targets=[(layer, p) for p in candidates],
+        )
+        sub = search(request)
+        if sub is None:
+            return None
+        for node in sub.nodes:
+            if node not in node_set:
+                node_set.add(node)
+                nodes.append(node)
+        segments.extend(sub.segments)
+        vias.extend(v for v in sub.vias if v not in vias)
+        cost += sub.cost
+        expansions += sub.expansions
+    return SearchResult(
+        nodes=nodes,
+        segments=segments,
+        vias=vias,
+        cost=cost,
+        expansions=expansions,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Window-local subproblems (the parallel batch router's work unit)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PrecomputedAttempt:
+    """Outcome of a speculative attempt-0 search computed off the live grid.
+
+    Fed into :meth:`repro.router.SadpRouter.route_net`, which consumes it
+    in place of the first search of the rip-up loop. The producer must
+    guarantee the result is what that first search would have returned —
+    the batch router does so by snapshot freshness + the window guard.
+    """
+
+    outcome: str  #: "found" | "failed" | "budget_exhausted"
+    found: Optional[SearchResult] = None
+
+
+@dataclass
+class SearchSubproblem:
+    """A net's attempt-0 search, self-contained and picklable.
+
+    Everything the A* engine reads, frozen at batch-formation time: the
+    occupancy snapshot of the net's expanded window (all layers), die
+    dimensions (so window clamping reproduces the live grid's), layer
+    directions, cost parameters, and the pin candidates in absolute die
+    coordinates. ``overlay_grid``/``overlay_bounds`` optionally carry the
+    trunk window's Eq. (5) grid exported from the main-process
+    :class:`~repro.router.overlay_cache.OverlayCostCache`.
+    """
+
+    net_id: int
+    sources: List[Tuple[int, Point]]
+    targets: List[Tuple[int, Point]]
+    taps: List[Tuple[int, Tuple[Point, ...]]]
+    bounds: Bounds  #: snapshot window, absolute die coordinates
+    occ: "object"  #: np.int32 array (layers, wx, wy) — the window slice
+    die_width: int
+    die_height: int
+    horizontal: List[bool]
+    params: CostParams
+    overlay_terms: Optional[Tuple[float, float]]
+    max_expansions: int = 400_000
+    use_reference: bool = False
+    overlay_grid: Optional["object"] = None
+    overlay_bounds: Optional[Bounds] = None
+
+
+@dataclass
+class SubproblemResult:
+    """What a worker sends back, in absolute die coordinates.
+
+    ``outcome`` mirrors the engine outcomes plus ``"window_exceeded"``:
+    a search window escaped the snapshot, so the result would not be
+    trustworthy — the scheduler falls back to a live sequential route.
+    ``engine_searches``/``engine_expansions`` are the worker engine's
+    counters, added to the main engine's only when the result is
+    accepted (so counter totals match a sequential run exactly).
+    """
+
+    net_id: int
+    outcome: str
+    nodes: List[Node] = None  # type: ignore[assignment]
+    segments: List[Segment] = None  # type: ignore[assignment]
+    vias: List[Via] = None  # type: ignore[assignment]
+    cost: float = 0.0
+    found_expansions: int = 0
+    engine_searches: int = 0
+    engine_expansions: int = 0
+
+    def to_precomputed(self) -> PrecomputedAttempt:
+        if self.outcome != "found":
+            return PrecomputedAttempt(outcome=self.outcome)
+        return PrecomputedAttempt(
+            outcome="found",
+            found=SearchResult(
+                nodes=self.nodes,
+                segments=self.segments,
+                vias=self.vias,
+                cost=self.cost,
+                expansions=self.found_expansions,
+            ),
+        )
+
+
+class _SubgridView:
+    """Duck-typed stand-in for :class:`RoutingGrid` over a window snapshot.
+
+    Provides exactly the surface :class:`AStarRouter` touches: ``_occ``,
+    ``width``/``height`` (the *window* extent — the engine's coordinates
+    are window-local), ``num_layers``, ``in_bounds`` and
+    ``layer_direction``. The window guard in :func:`solve_subproblem`
+    ensures the coordinate translation cannot change search behaviour.
+    """
+
+    def __init__(self, sub: SearchSubproblem) -> None:
+        self._occ = sub.occ
+        self.num_layers = sub.occ.shape[0]
+        self.width = sub.occ.shape[1]
+        self.height = sub.occ.shape[2]
+        self._directions = [
+            Direction.HORIZONTAL if flag else Direction.VERTICAL
+            for flag in sub.horizontal
+        ]
+
+    def in_bounds(self, layer: int, p: Point) -> bool:
+        return (
+            0 <= layer < self.num_layers
+            and 0 <= p.x < self.width
+            and 0 <= p.y < self.height
+        )
+
+    def layer_direction(self, layer: int) -> Direction:
+        return self._directions[layer]
+
+
+class _PrecomputedOverlay:
+    """Minimal ``grid_for`` provider for a worker engine.
+
+    Serves the exported trunk-window grid when the request matches its
+    bounds (window-local coordinates), and recomputes from the snapshot
+    otherwise — the same arithmetic the live cache would run, so results
+    stay bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        view: _SubgridView,
+        horizontal: List[bool],
+        terms: Tuple[float, float],
+        bounds: Optional[Bounds],
+        grid: Optional["object"],
+    ) -> None:
+        self._view = view
+        self._horizontal = horizontal
+        self._terms = terms
+        self._bounds = bounds
+        self._grid = grid
+
+    def grid_for(self, net_id: int, bounds: Bounds):
+        if self._grid is not None and bounds == self._bounds:
+            return self._grid
+        gamma, delta_tip = self._terms
+        return overlay_cost_grid(
+            self._view._occ, self._horizontal, bounds, net_id, gamma, delta_tip
+        )
+
+
+class _WindowExceeded(Exception):
+    """A sub-search's window (plus overlay pad) escaped the snapshot."""
+
+
+def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
+    """Run a net's attempt-0 search inside its snapshot window.
+
+    Executed in worker processes/threads. Pin coordinates are translated
+    into the window frame, the trunk + tap searches run on a fresh
+    engine over the snapshot, and the result is translated back. Before
+    every sub-search a *window-parity guard* checks that (a) the window
+    the live engine would use equals this window shifted by the snapshot
+    origin and (b) that window plus the distance-2 overlay pad, clipped
+    to the die, lies inside the snapshot — together they make the
+    snapshot search read exactly the cells the live search would read,
+    hence return a bit-identical result. A guard miss aborts with
+    outcome ``"window_exceeded"`` (never a wrong answer).
+    """
+    view = _SubgridView(sub)
+    ox = sub.bounds[0]
+    oy = sub.bounds[2]
+    bxlo, bxhi, bylo, byhi = sub.bounds
+    margin = sub.params.search_margin
+
+    overlay_cache = None
+    if sub.overlay_terms is not None:
+        local_bounds = None
+        if sub.overlay_bounds is not None:
+            xlo, xhi, ylo, yhi = sub.overlay_bounds
+            local_bounds = (xlo - ox, xhi - ox, ylo - oy, yhi - oy)
+        overlay_cache = _PrecomputedOverlay(
+            view, sub.horizontal, sub.overlay_terms, local_bounds, sub.overlay_grid
+        )
+    engine = AStarRouter(
+        view,  # type: ignore[arg-type]
+        sub.params,
+        overlay_terms=sub.overlay_terms,
+        overlay_cache=overlay_cache,
+        use_reference=sub.use_reference,
+    )
+    engine.active_net = sub.net_id
+
+    def guarded_search(request: SearchRequest) -> Optional[SearchResult]:
+        pts = [pt for _, pt in request.sources] + [pt for _, pt in request.targets]
+        local = search_window(pts, margin, view.width, view.height)
+        absolute = search_window(
+            [Point(p.x + ox, p.y + oy) for p in pts],
+            margin,
+            sub.die_width,
+            sub.die_height,
+        )
+        axlo, axhi, aylo, ayhi = absolute
+        if (axlo - ox, axhi - ox, aylo - oy, ayhi - oy) != local:
+            raise _WindowExceeded
+        # Overlay probes read up to 2 cells beyond the window; every such
+        # cell that exists on the die must be in the snapshot.
+        if (
+            max(0, axlo - 2) < bxlo
+            or min(sub.die_width - 1, axhi + 2) > bxhi
+            or max(0, aylo - 2) < bylo
+            or min(sub.die_height - 1, ayhi + 2) > byhi
+        ):
+            raise _WindowExceeded
+        return engine.search(request)
+
+    request = SearchRequest(
+        net_id=sub.net_id,
+        sources=[(layer, Point(p.x - ox, p.y - oy)) for layer, p in sub.sources],
+        targets=[(layer, Point(p.x - ox, p.y - oy)) for layer, p in sub.targets],
+        max_expansions=sub.max_expansions,
+    )
+    try:
+        found = guarded_search(request)
+        if found is not None and sub.taps:
+            found = extend_with_taps(
+                guarded_search,
+                sub.net_id,
+                [
+                    (layer, [Point(p.x - ox, p.y - oy) for p in candidates])
+                    for layer, candidates in sub.taps
+                ],
+                found,
+            )
+    except _WindowExceeded:
+        return SubproblemResult(
+            net_id=sub.net_id,
+            outcome="window_exceeded",
+            engine_searches=engine.total_searches,
+            engine_expansions=engine.total_expansions,
+        )
+    if found is None:
+        return SubproblemResult(
+            net_id=sub.net_id,
+            outcome=engine.last_outcome,
+            engine_searches=engine.total_searches,
+            engine_expansions=engine.total_expansions,
+        )
+    shift = Point(ox, oy)
+    return SubproblemResult(
+        net_id=sub.net_id,
+        outcome="found",
+        nodes=[(layer, x + ox, y + oy) for layer, x, y in found.nodes],
+        segments=[
+            Segment(seg.layer, seg.a + shift, seg.b + shift)
+            for seg in found.segments
+        ],
+        vias=[Via(lower=via.lower, at=via.at + shift) for via in found.vias],
+        cost=found.cost,
+        found_expansions=found.expansions,
+        engine_searches=engine.total_searches,
+        engine_expansions=engine.total_expansions,
+    )

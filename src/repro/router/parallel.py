@@ -1,0 +1,358 @@
+"""Parallel batch routing: halo-disjoint scheduling, deterministic commit.
+
+The sequential flow routes nets one at a time in canonical order. But two
+nets whose expanded search windows cannot interact are independent: their
+attempt-0 searches read disjoint occupancy, produce disjoint writes, and
+create no shared overlay scenarios. This module exploits that:
+
+* :class:`BatchScheduler` greedily packs the head of the routing-ordered
+  queue into a batch whose *expanded windows* — pin bbox grown by the
+  search margins plus an interaction halo covering the spacing rule and
+  the distance-2 overlay probe range — are pairwise disjoint;
+* each batch member's attempt-0 search is extracted as a picklable
+  :class:`~repro.router.astar.SearchSubproblem` (occupancy snapshot of
+  its window) and solved on a ``concurrent.futures`` pool;
+* results are consumed strictly **in canonical routing order** on the
+  main process and fed into the unchanged ``route_net`` rip-up loop as a
+  :class:`~repro.router.astar.PrecomputedAttempt` — all commits, OCG
+  updates, coloring and conflict checks stay sequential.
+
+Determinism does not rest on the scheduler being right: a result is only
+consumed if (a) the worker's window-parity guard held and (b) no grid
+cell inside the member's snapshot changed since it was taken (tracked by
+:class:`_DirtyTracker`). Any miss falls back to a live sequential route
+of that net — discarding a speculative result is always safe — so
+``workers=N`` is bit-identical to ``workers=1`` unconditionally; the
+halo only tunes the speculation hit rate.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import obs
+from ..netlist import Net
+from .astar import (
+    Bounds,
+    SearchSubproblem,
+    SubproblemResult,
+    search_window,
+    solve_subproblem,
+)
+from .cost import CostParams
+
+#: Overlay probes read occupancy up to 2 tracks away (Eq. 5's type 2-b).
+OVERLAY_PAD = 2
+
+
+def interaction_halo(rules) -> int:
+    """Tracks beyond a net's search windows where another net can matter.
+
+    Two committed patterns interact through (a) the Eq. (5) overlay term,
+    which probes up to :data:`OVERLAY_PAD` tracks along the preferred
+    direction, and (b) scenario detection / spacing, whose reach is the
+    design rules' independence radius ``d_indep_tracks``. The halo is
+    their sum, so two nets whose haloed windows are disjoint cannot see
+    each other through either mechanism.
+    """
+    return OVERLAY_PAD + int(getattr(rules, "d_indep_tracks", 3))
+
+
+def windows_disjoint(a: Bounds, b: Bounds) -> bool:
+    return a[1] < b[0] or b[1] < a[0] or a[3] < b[2] or b[3] < a[2]
+
+
+class BatchScheduler:
+    """Greedy halo-disjoint packer over the routing-ordered net queue.
+
+    ``window(net)`` is the net's *expanded* window: the bbox of all pin
+    candidates grown by ``(2 + n_taps) * search_margin`` — the trunk
+    window plus the growth each Steiner extension can add — plus the
+    interaction halo, clipped to the die. ``pick`` scans a bounded
+    lookahead of the queue head and keeps every net whose window is
+    disjoint from all windows already picked; the queue head is always
+    picked, so consumption order never starves.
+    """
+
+    def __init__(
+        self,
+        params: CostParams,
+        rules,
+        width: int,
+        height: int,
+        max_batch: int,
+        lookahead: int,
+    ) -> None:
+        self.params = params
+        self.width = width
+        self.height = height
+        self.halo = interaction_halo(rules)
+        self.max_batch = max(1, max_batch)
+        self.lookahead = max(self.max_batch, lookahead)
+
+    def window(self, net: Net) -> Bounds:
+        pins = (net.source, net.target, *net.taps)
+        pts = [p for pin in pins for p in pin.candidates]
+        # Attempt-0 searches use the base search_margin (no rip-up growth
+        # yet); each Steiner tap extension can push the tree one more
+        # margin outward. The halo on top covers everything a *neighbour*
+        # can reach into: its own margin is inside its own window, so the
+        # overlay-probe + independence-radius halo is all that remains.
+        margin = (1 + len(net.taps)) * self.params.search_margin + self.halo
+        return search_window(pts, margin, self.width, self.height)
+
+    def pick(self, queue: Sequence[Net]) -> List[Tuple[Net, Bounds]]:
+        picked: List[Tuple[Net, Bounds]] = []
+        windows: List[Bounds] = []
+        for i in range(min(len(queue), self.lookahead)):
+            net = queue[i]
+            win = self.window(net)
+            if i == 0 or all(windows_disjoint(win, other) for other in windows):
+                picked.append((net, win))
+                windows.append(win)
+                if len(picked) >= self.max_batch:
+                    break
+        return picked
+
+
+class _DirtyTracker:
+    """Grid change listener: which (x, y) columns changed since ``clear``.
+
+    Layer-agnostic on purpose — a snapshot covers all layers of its
+    window, so any write in the window's footprint invalidates it.
+    ``block()`` arrives as a reset and poisons every snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.cells: Set[Tuple[int, int]] = set()
+        self.reset = False
+
+    def on_cells_changed(self, cells: Iterable[Tuple[int, int, int]]) -> None:
+        add = self.cells.add
+        for _, x, y in cells:
+            add((x, y))
+
+    def on_grid_reset(self) -> None:
+        self.reset = True
+
+    def clear(self) -> None:
+        self.cells.clear()
+        self.reset = False
+
+    def window_dirty(self, bounds: Bounds) -> bool:
+        if self.reset:
+            return True
+        xlo, xhi, ylo, yhi = bounds
+        for x, y in self.cells:
+            if xlo <= x <= xhi and ylo <= y <= yhi:
+                return True
+        return False
+
+
+class _SerialExecutor:
+    """Inline ``concurrent.futures``-shaped executor (debugging aid)."""
+
+    def submit(self, fn, *args, **kwargs) -> "concurrent.futures.Future":
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # pragma: no cover - defensive
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        return None
+
+
+def make_executor(kind: str, workers: int):
+    """``"process"`` (default: the engine is pure Python and GIL-bound),
+    ``"thread"`` (cheap startup; useful for tests) or ``"serial"``."""
+    if kind == "process":
+        return concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    if kind == "thread":
+        return concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+    if kind == "serial":
+        return _SerialExecutor()
+    raise ValueError(f"unknown executor kind: {kind!r}")
+
+
+@dataclass
+class ParallelStats:
+    """What the batch router did — exported into ``BENCH_perf.json``."""
+
+    workers: int = 0
+    executor: str = ""
+    batches: int = 0
+    batched_nets: int = 0
+    sequential_nets: int = 0
+    hits: int = 0
+    fallbacks: int = 0
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_nets / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "executor": self.executor,
+            "batches": self.batches,
+            "batched_nets": self.batched_nets,
+            "sequential_nets": self.sequential_nets,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "hits": self.hits,
+            "fallbacks": self.fallbacks,
+            "fallback_reasons": dict(self.fallback_reasons),
+        }
+
+
+class ParallelRouter:
+    """Drives one routing pass of a :class:`SadpRouter` with batching.
+
+    Owns the executor, the scheduler and the dirty tracker; delegates
+    every commit-side decision to the router's own ``route_net``.
+    """
+
+    def __init__(
+        self,
+        router,
+        workers: int,
+        executor: str = "process",
+        max_batch: Optional[int] = None,
+        lookahead: Optional[int] = None,
+        share_overlay_grids: Optional[bool] = None,
+    ) -> None:
+        self.router = router
+        self.workers = max(1, int(workers))
+        self.executor_kind = executor
+        self.max_batch = max_batch or max(2 * self.workers, 2)
+        self.lookahead = lookahead or max(8 * self.workers, 16)
+        if share_overlay_grids is None:
+            # Shipping grids to processes costs pickling; threads share
+            # memory, so exporting from the main-process cache is free.
+            share_overlay_grids = executor != "process"
+        self.share_overlay_grids = share_overlay_grids
+        self.scheduler = BatchScheduler(
+            router.params,
+            router.grid.rules,
+            router.grid.width,
+            router.grid.height,
+            self.max_batch,
+            self.lookahead,
+        )
+        self.stats = ParallelStats(workers=self.workers, executor=executor)
+
+    # ------------------------------------------------------------------ #
+
+    def route(self, ordered: Sequence[Net], result) -> None:
+        """Route ``ordered`` into ``result.routes``, in canonical order."""
+        router = self.router
+        queue: Deque[Net] = deque(ordered)
+        tracker = _DirtyTracker()
+        router.grid.add_change_listener(tracker)
+        pool = make_executor(self.executor_kind, self.workers)
+        degraded = False
+        try:
+            while queue:
+                picked = [] if degraded else self.scheduler.pick(queue)
+                if len(picked) < 2:
+                    net = queue.popleft()
+                    self.stats.sequential_nets += 1
+                    result.routes[net.net_id] = router.route_net(net)
+                    continue
+                tracker.clear()
+                futures = {}
+                windows = {}
+                for net, win in picked:
+                    sub = self._build_subproblem(net, win)
+                    futures[net.net_id] = pool.submit(solve_subproblem, sub)
+                    windows[net.net_id] = win
+                self.stats.batches += 1
+                self.stats.batched_nets += len(picked)
+                obs.counter_inc("parallel_batches_total")
+                obs.counter_inc("parallel_batched_nets_total", len(picked))
+                with obs.span("parallel_batch", size=len(picked)):
+                    while futures:
+                        net = queue.popleft()
+                        future = futures.pop(net.net_id, None)
+                        if future is None:
+                            # Skipped (window overlap): route live, in order.
+                            self.stats.sequential_nets += 1
+                            result.routes[net.net_id] = router.route_net(net)
+                            continue
+                        try:
+                            res = future.result()
+                        except Exception:
+                            self._fallback(net, result, "error")
+                            degraded = True
+                            continue
+                        if res.outcome == "window_exceeded":
+                            self._fallback(net, result, "window_exceeded")
+                        elif tracker.window_dirty(windows[net.net_id]):
+                            self._fallback(net, result, "stale")
+                        else:
+                            self._accept(net, res, result)
+        finally:
+            router.grid.remove_change_listener(tracker)
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ #
+
+    def _build_subproblem(self, net: Net, win: Bounds) -> SearchSubproblem:
+        router = self.router
+        engine = router.engine
+        sources = [(net.source.layer, p) for p in net.source.candidates]
+        targets = [(net.target.layer, p) for p in net.target.candidates]
+        overlay_grid = None
+        overlay_bounds = None
+        if self.share_overlay_grids and router.overlay_cache is not None:
+            pts = [p for _, p in sources] + [p for _, p in targets]
+            overlay_bounds = search_window(
+                pts,
+                router.params.search_margin,
+                router.grid.width,
+                router.grid.height,
+            )
+            overlay_grid = router.overlay_cache.export_for(
+                net.net_id, overlay_bounds
+            )
+        return SearchSubproblem(
+            net_id=net.net_id,
+            sources=sources,
+            targets=targets,
+            taps=[(tap.layer, tuple(tap.candidates)) for tap in net.taps],
+            bounds=win,
+            occ=router.grid.snapshot_window(win),
+            die_width=router.grid.width,
+            die_height=router.grid.height,
+            horizontal=list(engine._horizontal),
+            params=router.params,
+            overlay_terms=engine._overlay_terms,
+            use_reference=bool(engine.use_reference),
+            overlay_grid=overlay_grid,
+            overlay_bounds=overlay_bounds,
+        )
+
+    def _accept(self, net: Net, res: SubproblemResult, result) -> None:
+        router = self.router
+        self.stats.hits += 1
+        obs.counter_inc("parallel_hits_total", outcome=res.outcome)
+        # The worker's searches stand in for the live attempt-0 searches:
+        # fold its counters in so totals match a sequential run exactly.
+        router.engine.total_searches += res.engine_searches
+        router.engine.total_expansions += res.engine_expansions
+        result.routes[net.net_id] = router.route_net(
+            net, precomputed=res.to_precomputed()
+        )
+
+    def _fallback(self, net: Net, result, reason: str) -> None:
+        self.stats.fallbacks += 1
+        self.stats.fallback_reasons[reason] = (
+            self.stats.fallback_reasons.get(reason, 0) + 1
+        )
+        obs.counter_inc("parallel_fallbacks_total", reason=reason)
+        result.routes[net.net_id] = self.router.route_net(net)

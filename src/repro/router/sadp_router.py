@@ -37,7 +37,13 @@ from ..core.cut_conflict import CriticalCut
 from ..geometry import Point, Segment
 from ..grid import CellState, Direction, RoutingGrid
 from ..netlist import Net, Netlist
-from .astar import AStarRouter, SearchRequest, SearchResult
+from .astar import (
+    AStarRouter,
+    PrecomputedAttempt,
+    SearchRequest,
+    SearchResult,
+    extend_with_taps,
+)
 from .cost import CostParams, PAPER_PARAMS
 from .overlay_cache import OverlayCostCache
 from .result import NetRoute, RoutingResult
@@ -55,6 +61,8 @@ class SadpRouter:
         enable_t2b_penalty: bool = True,
         enable_merge: bool = True,
         order: str = "hpwl",
+        workers: int = 1,
+        executor: str = "process",
     ) -> None:
         self.grid = grid
         self.netlist = netlist
@@ -63,6 +71,14 @@ class SadpRouter:
         self.enable_t2b_penalty = enable_t2b_penalty
         #: Net-ordering strategy (see Netlist.ordered_for_routing).
         self.order = order
+        #: Parallel batch routing: number of workers for the speculative
+        #: attempt-0 searches (1 = the plain sequential flow) and the
+        #: executor kind ("process" | "thread" | "serial"). Bit-identical
+        #: to sequential for every value — see repro.router.parallel.
+        self.workers = max(1, int(workers))
+        self.executor = executor
+        #: ParallelStats of the last route_all (None for sequential runs).
+        self.parallel_stats = None
         #: Ablation knob for contribution 1: with the merge technique
         #: disabled, abutting tips (type 1-b) cannot be merged-and-cut —
         #: every 1-b scenario forces a rip-up, as in the trim process.
@@ -180,8 +196,18 @@ class SadpRouter:
 
     def _route_all(self) -> RoutingResult:
         result = RoutingResult()
-        for net in self.netlist.ordered_for_routing(self.order):
-            result.routes[net.net_id] = self.route_net(net)
+        ordered = list(self.netlist.ordered_for_routing(self.order))
+        if self.workers > 1 and len(ordered) > 1:
+            from .parallel import ParallelRouter
+
+            runner = ParallelRouter(
+                self, workers=self.workers, executor=self.executor
+            )
+            runner.route(ordered, result)
+            self.parallel_stats = runner.stats
+        else:
+            for net in ordered:
+                result.routes[net.net_id] = self.route_net(net)
         result.routes.update(self._evicted_routes)
         self._evicted_routes.clear()
         self._rescue_pass(result)
@@ -232,6 +258,7 @@ class SadpRouter:
         net: Net,
         preserve_penalties: bool = False,
         allow_chain: bool = True,
+        precomputed: Optional[PrecomputedAttempt] = None,
     ) -> NetRoute:
         """Route one net with the rip-up & reroute loop of Fig. 19.
 
@@ -239,12 +266,17 @@ class SadpRouter:
         specific committed neighbour (typically a pin-adjacent trap), a
         depth-one *chained* rip-up evicts that neighbour, routes this net,
         and reroutes the evicted one.
+
+        ``precomputed`` injects a speculative attempt-0 search outcome
+        (from the parallel batch router) consumed in place of the loop's
+        first search; every later attempt, commit and rip-up decision
+        runs unchanged on the live grid.
         """
         ob = obs.get_active()
         if ob is None:
-            return self._route_net(net, preserve_penalties, allow_chain)
+            return self._route_net(net, preserve_penalties, allow_chain, precomputed)
         with ob.tracer.span("route_net", net_id=net.net_id) as sp:
-            route = self._route_net(net, preserve_penalties, allow_chain)
+            route = self._route_net(net, preserve_penalties, allow_chain, precomputed)
         sp.attrs["success"] = route.success
         sp.attrs["ripups"] = route.ripups
         ob.registry.histogram("route_net_seconds").observe(sp.duration_s)
@@ -258,6 +290,7 @@ class SadpRouter:
         net: Net,
         preserve_penalties: bool = False,
         allow_chain: bool = True,
+        precomputed: Optional[PrecomputedAttempt] = None,
     ) -> NetRoute:
         route = NetRoute(net_id=net.net_id)
         self._active_net = net.net_id
@@ -277,11 +310,19 @@ class SadpRouter:
                 # Last chance: open the window wide (capped — on big dies
                 # a whole-grid window makes failing nets very expensive).
                 margin = min(max(self.grid.width, self.grid.height), 48)
-            found = self.engine.search(request, extra_margin=margin)
-            if found is not None and net.taps:
-                found = self._connect_taps(net, found, margin)
+            if attempt == 0 and precomputed is not None:
+                # Speculative attempt-0 from the batch router, computed
+                # off a verified-fresh snapshot: exactly what the search
+                # below would have returned, so consume it in its place.
+                found = precomputed.found
+                outcome = precomputed.outcome
+            else:
+                found = self.engine.search(request, extra_margin=margin)
+                if found is not None and net.taps:
+                    found = self._connect_taps(net, found, margin)
+                outcome = self.engine.last_outcome
             if found is None:
-                if self.engine.last_outcome == "budget_exhausted":
+                if outcome == "budget_exhausted":
                     # The search ran out of budget, not of reachable
                     # cells: the next attempt's wider window needs a
                     # bigger budget, and penalising cells would steer
@@ -306,41 +347,16 @@ class SadpRouter:
     def _connect_taps(
         self, net: Net, trunk: SearchResult, margin: int
     ) -> Optional[SearchResult]:
-        """Sequential Steiner extension: attach each tap to the grown tree.
+        """Steiner extension on the live engine; see ``extend_with_taps``.
 
-        Every tap search treats all cells of the tree built so far as
-        sources, so branches start wherever is cheapest. Returns the
-        combined result, or None when any tap is unreachable.
+        The tree-growing loop itself is shared with the parallel
+        workers' snapshot solver, so the two paths cannot drift apart.
         """
-        nodes = list(trunk.nodes)
-        node_set = set(nodes)
-        segments = list(trunk.segments)
-        vias = list(trunk.vias)
-        cost = trunk.cost
-        expansions = trunk.expansions
-        for tap in net.taps:
-            request = SearchRequest(
-                net_id=net.net_id,
-                sources=[(layer, Point(x, y)) for layer, x, y in nodes],
-                targets=[(tap.layer, p) for p in tap.candidates],
-            )
-            sub = self.engine.search(request, extra_margin=margin)
-            if sub is None:
-                return None
-            for node in sub.nodes:
-                if node not in node_set:
-                    node_set.add(node)
-                    nodes.append(node)
-            segments.extend(sub.segments)
-            vias.extend(v for v in sub.vias if v not in vias)
-            cost += sub.cost
-            expansions += sub.expansions
-        return SearchResult(
-            nodes=nodes,
-            segments=segments,
-            vias=vias,
-            cost=cost,
-            expansions=expansions,
+        return extend_with_taps(
+            lambda request: self.engine.search(request, extra_margin=margin),
+            net.net_id,
+            [(tap.layer, tap.candidates) for tap in net.taps],
+            trunk,
         )
 
     def _route_with_eviction(self, net: Net, route: NetRoute) -> NetRoute:
@@ -367,7 +383,20 @@ class SadpRouter:
     # ------------------------------------------------------------------ #
 
     def _commit(self, net_id: int, found: SearchResult, route: NetRoute) -> bool:
-        """Tentatively commit a path; False (and rolled back) on violation."""
+        """Tentatively commit a path; False (and rolled back) on violation.
+
+        Runs inside a ``commit_net`` span; the bench's per-phase split
+        attributes this span's *self time* (occupancy writes, scenario
+        bookkeeping, registration) plus the nested ``cut_check`` to the
+        ``commit`` bucket — ``ocg_update``/``pseudo_color`` children keep
+        their own phases.
+        """
+        with obs.span("commit_net", net_id=net_id):
+            return self._commit_inner(net_id, found, route)
+
+    def _commit_inner(
+        self, net_id: int, found: SearchResult, route: NetRoute
+    ) -> bool:
         for layer, x, y in found.nodes:
             self.grid.occupy(layer, Point(x, y), net_id)
 

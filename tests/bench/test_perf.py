@@ -5,7 +5,11 @@ import json
 import pytest
 
 from repro import obs
-from repro.bench.perf import check_against_baseline, run_perf
+from repro.bench.perf import (
+    check_against_baseline,
+    check_parallel_equivalence,
+    run_perf,
+)
 from repro.bench.runner import BenchRow, append_rows_json, rows_to_json
 
 
@@ -59,6 +63,63 @@ class TestPerfRun:
         with obs.session():
             with pytest.raises(RuntimeError):
                 run_perf(workloads=["Test1"], rounds=1, verbose=False)
+
+
+class TestPhaseSplit:
+    def test_phase_split_is_exhaustive(self):
+        payload = run_perf(
+            workloads=["Test1"],
+            scales={"Test1": 0.06},
+            rounds=1,
+            include_reference=False,
+            include_phases=True,
+            verbose=False,
+        )
+        (wl,) = payload["workloads"]
+        phases = wl["phases_s"]
+        # The commit bucket closes the old accounting gap: every phase is
+        # a disjoint slice of the instrumented run, so the split never
+        # sums past the run's route_all wall time.
+        assert set(phases) == {"search", "graph", "flip", "commit"}
+        assert wl["phases_route_all_s"] > 0
+        assert sum(phases.values()) <= wl["phases_route_all_s"]
+        assert phases["commit"] > 0
+
+
+class TestParallelBench:
+    def test_parallel_mode_fields_and_equivalence(self):
+        payload = run_perf(
+            workloads=["Test1"],
+            scales={"Test1": 0.06},
+            rounds=1,
+            include_reference=False,
+            include_phases=False,
+            workers=2,
+            executor="thread",
+            verbose=False,
+        )
+        assert payload["config"]["workers"] == 2
+        (wl,) = payload["workloads"]
+        assert wl["parallel"]["route_all_s"] > 0
+        assert "parallel_speedup" in wl
+        stats = wl["parallel_stats"]
+        assert stats["workers"] == 2
+        for key in ("batches", "mean_batch_size", "fallbacks"):
+            assert key in stats
+        assert check_parallel_equivalence(payload) == []
+
+    def test_equivalence_gate_catches_mismatch(self):
+        payload = {
+            "workloads": [
+                {
+                    "circuit": "Test1",
+                    "fast": {"routability_pct": 100.0, "overlay_units": 4.0},
+                    "parallel": {"routability_pct": 98.0, "overlay_units": 5.0},
+                }
+            ]
+        }
+        problems = check_parallel_equivalence(payload)
+        assert len(problems) == 2
 
 
 class TestRegressionGate:

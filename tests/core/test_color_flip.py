@@ -171,3 +171,65 @@ class TestRefinement:
         g.add_edges([edge(0, 1, ScenarioType.T1A), edge(1, 2, ScenarioType.T2A)])
         colors = flip_colors(g, refine=False)
         assert colors[0] != colors[1]
+
+
+class TestFlipCache:
+    """The per-component result cache must be invisible to callers."""
+
+    def _graph(self):
+        g = OverlayConstraintGraph()
+        g.add_edges(
+            [
+                edge(0, 1, ScenarioType.T1A),
+                edge(1, 2, ScenarioType.T2A),
+                edge(3, 4, ScenarioType.T3A),
+            ]
+        )
+        return g
+
+    def test_hit_matches_fresh_computation(self):
+        g = self._graph()
+        first = flip_colors(g)
+        second = flip_colors(g)  # pure cache hits: nothing changed
+        g.flip_cache_enabled = False
+        uncached = flip_colors(g)
+        assert first == second == uncached
+
+    def test_mutation_invalidates(self):
+        g = self._graph()
+        flip_colors(g)
+        # A structural change must bump the component version so the
+        # stale entry is recomputed, not served.
+        g.add_edges([edge(2, 5, ScenarioType.T1A)])
+        cached = flip_colors(g)
+        g.flip_cache_enabled = False
+        fresh = flip_colors(g)
+        assert cached == fresh
+        assert cached[2] != cached[5]
+
+    def test_remove_net_invalidates_neighbours(self):
+        g = self._graph()
+        flip_colors(g)
+        g.remove_net(1)
+        cached = flip_colors(g)
+        g.flip_cache_enabled = False
+        fresh = flip_colors(g)
+        assert cached == fresh
+        assert 1 not in cached
+
+    def test_end_to_end_colors_bit_identical(self):
+        # Full routed flow: cache on vs off must color identically.
+        from repro.bench.workloads import generate_benchmark, spec_by_name
+        from repro.router import SadpRouter
+
+        for circuit, scale in (("Test1", 0.15), ("Test5", 0.06), ("Test6", 0.15)):
+            grid, nets = generate_benchmark(spec_by_name(circuit), scale, seed=7)
+            cached_router = SadpRouter(grid, nets)
+            cached = cached_router.route_all()
+            grid2, nets2 = generate_benchmark(spec_by_name(circuit), scale, seed=7)
+            plain_router = SadpRouter(grid2, nets2)
+            for graph in plain_router.graphs:
+                graph.flip_cache_enabled = False
+            plain = plain_router.route_all()
+            assert cached_router.colorings == plain_router.colorings
+            assert cached.overlay_units == plain.overlay_units

@@ -136,6 +136,6 @@ class TestPhaseTable:
                     pass
             totals = phase_totals(ob)
             table = phase_table(ob)
-        assert set(totals) == {"search", "graph", "flip", "decompose"}
+        assert set(totals) == {"search", "graph", "flip", "commit", "decompose"}
         assert totals["flip"] >= 0.0
         assert "search" in table and "flip" in table and "total" in table

@@ -1,0 +1,179 @@
+"""The parallel batch-routing engine: scheduling safety + determinism.
+
+Two properties carry the whole design:
+
+* batches produced by the halo-disjoint partitioner are pairwise
+  non-interacting (checked here by brute-force window intersection), and
+* whatever the scheduler does, ``route_all`` with N workers is
+  bit-identical to the sequential router — speculative results are only
+  consumed when provably equal to what the sequential flow would have
+  computed, and every miss falls back to a live route.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.bench.workloads import generate_benchmark, spec_by_name
+from repro.router import SadpRouter
+from repro.router.parallel import (
+    BatchScheduler,
+    ParallelStats,
+    _DirtyTracker,
+    interaction_halo,
+    make_executor,
+    windows_disjoint,
+)
+
+
+def _route_signature(result, router):
+    """Everything observable about a run, for exact comparison."""
+    return {
+        "routes": {
+            net_id: (route.success, tuple(route.segments), tuple(route.vias))
+            for net_id, route in result.routes.items()
+        },
+        "colorings": router.colorings,
+        "overlay_units": result.overlay_units,
+        "cut_conflicts": result.cut_conflicts,
+        "searches": router.engine.total_searches,
+        "expansions": router.engine.total_expansions,
+    }
+
+
+def _run(circuit, scale, workers, executor="thread", seed=7):
+    grid, nets = generate_benchmark(spec_by_name(circuit), scale, seed=seed)
+    router = SadpRouter(grid, nets, workers=workers, executor=executor)
+    result = router.route_all()
+    return _route_signature(result, router), router
+
+
+class TestWindows:
+    def test_windows_disjoint_basics(self):
+        assert windows_disjoint((0, 4, 0, 4), (5, 9, 0, 4))
+        assert windows_disjoint((0, 4, 0, 4), (0, 4, 5, 9))
+        assert not windows_disjoint((0, 4, 0, 4), (4, 9, 4, 9))  # touch = interact
+        assert not windows_disjoint((0, 9, 0, 9), (3, 5, 3, 5))  # containment
+
+    def test_halo_covers_overlay_and_independence(self):
+        class Rules:
+            d_indep_tracks = 3
+
+        assert interaction_halo(Rules()) == 5
+        assert interaction_halo(object()) == 5  # default d_indep_tracks
+
+
+class TestBatchScheduler:
+    """Property: every batch the partitioner emits is pairwise disjoint."""
+
+    @pytest.mark.parametrize("circuit,scale", [("Test1", 0.2), ("Test5", 0.1)])
+    def test_batches_pairwise_non_interacting(self, circuit, scale):
+        grid, nets = generate_benchmark(spec_by_name(circuit), scale, seed=7)
+        router = SadpRouter(grid, nets)
+        scheduler = BatchScheduler(
+            router.params, grid.rules, grid.width, grid.height,
+            max_batch=8, lookahead=32,
+        )
+        queue = deque(nets.ordered_for_routing(router.order))
+        saw_multi = False
+        while queue:
+            picked = scheduler.pick(queue)
+            assert picked, "head of queue must always be picked"
+            assert picked[0][0].net_id == queue[0].net_id
+            # Brute-force: every pair of windows in the batch is disjoint.
+            for i in range(len(picked)):
+                for j in range(i + 1, len(picked)):
+                    assert windows_disjoint(picked[i][1], picked[j][1]), (
+                        f"batch windows {picked[i][1]} and {picked[j][1]} "
+                        "interact"
+                    )
+            saw_multi |= len(picked) > 1
+            # Consume exactly this batch and move on.
+            batch_ids = {net.net_id for net, _ in picked}
+            queue = deque(n for n in queue if n.net_id not in batch_ids)
+        assert saw_multi, "scheduler never formed a batch > 1 net"
+
+    def test_window_contains_all_pins_plus_halo(self):
+        grid, nets = generate_benchmark(spec_by_name("Test1"), 0.2, seed=7)
+        router = SadpRouter(grid, nets)
+        scheduler = BatchScheduler(
+            router.params, grid.rules, grid.width, grid.height,
+            max_batch=4, lookahead=16,
+        )
+        for net in nets:
+            xlo, xhi, ylo, yhi = scheduler.window(net)
+            pad = router.params.search_margin + scheduler.halo
+            for pin in (net.source, net.target, *net.taps):
+                for p in pin.candidates:
+                    assert xlo <= p.x <= xhi and ylo <= p.y <= yhi
+                    assert xlo <= max(0, p.x - pad)
+                    assert xhi >= min(grid.width - 1, p.x + pad)
+
+
+class TestDirtyTracker:
+    def test_tracks_changed_columns(self):
+        tracker = _DirtyTracker()
+        tracker.on_cells_changed([(0, 3, 4), (1, 9, 9)])
+        assert tracker.window_dirty((0, 5, 0, 5))
+        assert tracker.window_dirty((9, 9, 9, 9))
+        assert not tracker.window_dirty((5, 8, 0, 3))
+        tracker.clear()
+        assert not tracker.window_dirty((0, 5, 0, 5))
+
+    def test_reset_poisons_everything(self):
+        tracker = _DirtyTracker()
+        tracker.on_grid_reset()
+        assert tracker.window_dirty((0, 0, 0, 0))
+        tracker.clear()
+        assert not tracker.window_dirty((0, 0, 0, 0))
+
+
+class TestExecutors:
+    def test_serial_executor_runs_inline(self):
+        pool = make_executor("serial", 4)
+        assert pool.submit(lambda a, b: a + b, 2, 3).result() == 5
+        pool.shutdown()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor("fiber", 2)
+
+
+class TestParallelStats:
+    def test_to_dict_shape(self):
+        stats = ParallelStats(workers=2, executor="thread")
+        stats.batches = 2
+        stats.batched_nets = 7
+        stats.hits = 6
+        stats.fallbacks = 1
+        stats.fallback_reasons["stale"] = 1
+        out = stats.to_dict()
+        assert out["workers"] == 2
+        assert out["mean_batch_size"] == 3.5
+        assert out["fallback_reasons"] == {"stale": 1}
+
+
+class TestDeterminism:
+    """workers=N must be bit-identical to workers=1, route for route."""
+
+    @pytest.mark.parametrize("circuit,scale", [("Test1", 0.2), ("Test6", 0.2)])
+    def test_worker_counts_agree(self, circuit, scale):
+        baseline, _ = _run(circuit, scale, workers=1)
+        for workers in (2, 4):
+            signature, router = _run(circuit, scale, workers=workers)
+            assert router.parallel_stats is not None
+            assert signature == baseline, (
+                f"{circuit} with {workers} workers diverged from sequential"
+            )
+
+    def test_parallel_path_actually_engaged(self):
+        _, router = _run("Test1", 0.2, workers=4)
+        stats = router.parallel_stats
+        assert stats.batches >= 1
+        assert stats.hits >= 1
+        assert stats.batched_nets + stats.sequential_nets == len(router.netlist)
+
+    def test_serial_executor_agrees_too(self):
+        baseline, _ = _run("Test1", 0.2, workers=1)
+        signature, _ = _run("Test1", 0.2, workers=2, executor="serial")
+        assert signature == baseline
