@@ -1,10 +1,21 @@
 """Post-routing analysis: overlay breakdowns, statistics, text reports."""
 
-from .report import OverlayBreakdown, RoutingReport, analyze, breakdown_by_scenario
+from .report import (
+    OverlayBreakdown,
+    RoutingReport,
+    analyze,
+    breakdown_by_scenario,
+    build_report,
+    instrumentation_digest,
+    scenario_census,
+)
 
 __all__ = [
     "OverlayBreakdown",
     "RoutingReport",
     "analyze",
     "breakdown_by_scenario",
+    "build_report",
+    "instrumentation_digest",
+    "scenario_census",
 ]

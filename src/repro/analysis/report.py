@@ -38,6 +38,25 @@ class OverlayBreakdown:
             return "-"
         return max(self.units_by_scenario, key=self.units_by_scenario.get)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "units_by_scenario": dict(self.units_by_scenario),
+            "edge_count_by_scenario": dict(self.edge_count_by_scenario),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OverlayBreakdown":
+        return cls(
+            units_by_scenario={
+                str(k): float(v)
+                for k, v in data.get("units_by_scenario", {}).items()
+            },
+            edge_count_by_scenario={
+                str(k): int(v)
+                for k, v in data.get("edge_count_by_scenario", {}).items()
+            },
+        )
+
 
 @dataclass
 class RoutingReport:
@@ -99,11 +118,54 @@ class RoutingReport:
                 lines.append(f"  {name:24s} {value:10.0f}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (instrumentation is run-local and not
+        included; re-attach a live digest after :meth:`from_dict` if
+        needed)."""
+        return {
+            "num_nets": self.num_nets,
+            "routed": self.routed,
+            "routability": self.routability,
+            "total_wirelength": self.total_wirelength,
+            "total_vias": self.total_vias,
+            "mean_wirelength": self.mean_wirelength,
+            "max_ripups": self.max_ripups,
+            "overlay": self.overlay.to_dict(),
+            "scenario_census": dict(self.scenario_census),
+            "colors_per_layer": {
+                str(layer): dict(census)
+                for layer, census in self.colors_per_layer.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RoutingReport":
+        """Rebuild a report from :meth:`to_dict` data (e.g. a pipeline
+        ``ReportArtifact``) — renders byte-identical text."""
+        return cls(
+            num_nets=int(data["num_nets"]),
+            routed=int(data["routed"]),
+            routability=float(data["routability"]),
+            total_wirelength=int(data["total_wirelength"]),
+            total_vias=int(data["total_vias"]),
+            mean_wirelength=float(data["mean_wirelength"]),
+            max_ripups=int(data["max_ripups"]),
+            overlay=OverlayBreakdown.from_dict(data.get("overlay", {})),
+            scenario_census={
+                str(k): int(v) for k, v in data.get("scenario_census", {}).items()
+            },
+            colors_per_layer={
+                int(layer): {str(c): int(n) for c, n in census.items()}
+                for layer, census in data.get("colors_per_layer", {}).items()
+            },
+            instrumentation=None,
+        )
+
 
 def breakdown_by_scenario(router: SadpRouter) -> OverlayBreakdown:
     """Attribute the committed side overlay to scenario types."""
     breakdown = OverlayBreakdown()
-    for layer, graph in enumerate(router.graphs):
+    for layer, graph in enumerate(getattr(router, "graphs", ())):
         coloring = router.colorings[layer]
         for edge in graph.edges:
             cost = edge.pair_cost(
@@ -120,7 +182,16 @@ def breakdown_by_scenario(router: SadpRouter) -> OverlayBreakdown:
     return breakdown
 
 
-def _instrumentation_digest() -> Optional[Dict[str, Any]]:
+def scenario_census(router: SadpRouter) -> Dict[str, int]:
+    """Detected scenario instances per type, over all layers."""
+    census: Counter = Counter()
+    for graph in getattr(router, "graphs", ()):
+        for edge in graph.edges:
+            census[edge.scenario.value] += 1
+    return dict(census)
+
+
+def instrumentation_digest() -> Optional[Dict[str, Any]]:
     """Phase timings and headline counters from the live registry."""
     ob = obs.get_active()
     if ob is None:
@@ -145,18 +216,20 @@ def _instrumentation_digest() -> Optional[Dict[str, Any]]:
     }
 
 
-def analyze(router: SadpRouter, result: RoutingResult) -> RoutingReport:
-    """Build the full report for a finished run.
+def build_report(
+    result: RoutingResult,
+    census: Dict[str, int],
+    overlay: OverlayBreakdown,
+    instrumentation: Optional[Dict[str, Any]] = None,
+) -> RoutingReport:
+    """Assemble a :class:`RoutingReport` from a result plus the graph-side
+    digests (scenario census and overlay breakdown).
 
-    When observability is enabled, the report additionally carries an
-    instrumentation digest (per-phase seconds and headline counters).
+    This is the single report constructor shared by :func:`analyze` (live
+    router) and the pipeline's report stage (serialized artifacts) — both
+    paths render identical text.
     """
     routed = [r for r in result.routes.values() if r.success]
-    census: Counter = Counter()
-    for layer, graph in enumerate(router.graphs):
-        for edge in graph.edges:
-            census[edge.scenario.value] += 1
-
     colors_per_layer: Dict[int, Dict[str, int]] = {}
     for layer, coloring in result.colorings.items():
         layer_census: Counter = Counter(color.value for color in coloring.values())
@@ -172,8 +245,22 @@ def analyze(router: SadpRouter, result: RoutingResult) -> RoutingReport:
             result.total_wirelength / len(routed) if routed else 0.0
         ),
         max_ripups=max((r.ripups for r in result.routes.values()), default=0),
-        overlay=breakdown_by_scenario(router),
+        overlay=overlay,
         scenario_census=dict(census),
         colors_per_layer=colors_per_layer,
-        instrumentation=_instrumentation_digest(),
+        instrumentation=instrumentation,
+    )
+
+
+def analyze(router: SadpRouter, result: RoutingResult) -> RoutingReport:
+    """Build the full report for a finished run.
+
+    When observability is enabled, the report additionally carries an
+    instrumentation digest (per-phase seconds and headline counters).
+    """
+    return build_report(
+        result,
+        scenario_census(router),
+        breakdown_by_scenario(router),
+        instrumentation=instrumentation_digest(),
     )

@@ -12,6 +12,8 @@ from .runner import (
     rows_to_json,
     rows_to_table,
     run_baseline,
+    run_cell,
+    run_matrix,
     run_proposed,
 )
 from .scaling import fit_power_law
@@ -23,6 +25,8 @@ __all__ = [
     "MULTI_PIN_BENCHMARKS",
     "generate_benchmark",
     "BenchRow",
+    "run_cell",
+    "run_matrix",
     "run_proposed",
     "run_baseline",
     "rows_to_table",

@@ -10,6 +10,18 @@ Commands
         python -m repro route nets.txt --width 40 --height 40 \
             --out result.json --svg layer0.svg --report
 
+``pipeline``
+    The staged flow with content-hash caching: ``run`` executes
+    load_design → build_grid → route → decompose → verify → report
+    against a ``.repro_cache/`` artifact store (re-runs with an unchanged
+    prefix are cache hits), ``show`` prints the plan or the store
+    contents, ``clean`` empties the store::
+
+        python -m repro pipeline run nets.txt --width 40 --height 40
+        python -m repro pipeline run Test1 --scale 0.2
+        python -m repro pipeline show --cache-dir .repro_cache
+        python -m repro pipeline clean
+
 ``bench``
     Route one of the paper's benchmarks (Test1..Test10) at a given scale,
     with the proposed router or a baseline::
@@ -24,106 +36,195 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
 from .errors import ReproError
 
 
-def _obs_begin(args: argparse.Namespace) -> bool:
-    """Enable observability when ``--metrics`` / ``--trace`` ask for it."""
-    wants = bool(getattr(args, "metrics", False) or getattr(args, "trace", None))
-    if wants:
-        from . import obs
-
-        obs.enable()
-    return wants
-
-
-def _obs_finish(args: argparse.Namespace, router_trace=None, **meta) -> None:
-    """Print the summary table and/or export the JSONL run log, then
-    switch observability back off."""
-    from . import obs
-
-    try:
-        if getattr(args, "metrics", False):
-            ob = obs.get_active()
-            print()
-            print(obs.phase_table())
-            if ob is not None:
-                print()
-                print(ob.registry.to_text())
-        trace_path = getattr(args, "trace", None)
-        if trace_path:
-            path = obs.export_run_jsonl(trace_path, router_trace=router_trace, meta=meta)
-            print(f"run log written to {path}")
-    finally:
-        obs.disable()
+def _route_exit_code(result) -> int:
+    """Nonzero when anything is wrong with the committed result: an
+    unrouted net or a remaining cut conflict."""
+    if result.cut_conflicts != 0:
+        return 1
+    if result.routed_count != len(result.routes):
+        return 1
+    return 0
 
 
-def _cmd_route(args: argparse.Namespace) -> int:
-    from .analysis import analyze
-    from .grid import RoutingGrid, default_layer_stack
-    from .netlist import read_design
-    from .router import RouterTrace, SadpRouter, save_result
-    from .viz import render_routing_svg
+def _print_route_outputs(args: argparse.Namespace, run) -> None:
+    """The route/pipeline-run shared tail: summary, report, JSON, SVG."""
+    from .analysis.report import instrumentation_digest
+    from .router import save_result
 
-    observing = _obs_begin(args)
-    blockages, netlist = read_design(args.netlist)
-    grid = RoutingGrid(
-        width=args.width,
-        height=args.height,
-        layers=default_layer_stack(args.layers),
-    )
-    for layer, rect in blockages:
-        targets = range(grid.num_layers) if layer < 0 else (layer,)
-        for l in targets:
-            grid.block(l, rect)
-    router = SadpRouter(grid, netlist, workers=args.workers)
-    trace = RouterTrace(router) if args.trace else None
-    result = router.route_all()
+    result = run.artifact("routing").result()
     print(result.summary())
     if args.report:
+        report = run.artifact("report").report()
+        # Re-attach the live instrumentation digest (run-local, never
+        # part of the cached artifact).
+        report.instrumentation = instrumentation_digest()
         print()
-        print(analyze(router, result).to_text())
+        print(report.to_text())
     if args.out:
         path = save_result(result, args.out)
         print(f"result saved to {path}")
     if args.svg:
-        path = render_routing_svg(grid, result.colorings, args.svg, layer=args.svg_layer)
+        from .pipeline import replay_onto_grid
+        from .viz import render_routing_svg
+
+        grid = replay_onto_grid(run.artifact("grid").build(), result)
+        path = render_routing_svg(
+            grid, result.colorings, args.svg, layer=args.svg_layer
+        )
         print(f"layer M{args.svg_layer + 1} rendered to {path}")
-    if observing:
-        _obs_finish(args, router_trace=trace, command="route", netlist=args.netlist)
-    return 0 if result.cut_conflicts == 0 else 1
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Thin wrapper over the pipeline (in-memory store: the classic
+    one-shot behavior, no cache directory side effects)."""
+    from .pipeline import MemoryStore, Pipeline, PipelineConfig, observed_command
+
+    config = PipelineConfig(
+        netlist=args.netlist,
+        width=args.width,
+        height=args.height,
+        num_layers=args.layers,
+        workers=args.workers,
+    )
+    with observed_command(args, command="route", netlist=args.netlist) as oc:
+        pipe = Pipeline(config, store=MemoryStore())
+        targets = ("report",) if args.report else ("route",)
+        run = pipe.run(
+            targets=targets, context={"want_router_trace": bool(args.trace)}
+        )
+        oc.router_trace = run.context.get("router_trace")
+        _print_route_outputs(args, run)
+        result = run.artifact("routing").result()
+    return _route_exit_code(result)
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from .pipeline import ALL_STAGES, Pipeline, observed_command
+
+    config = _pipeline_config_from_args(args)
+    with observed_command(
+        args, command="pipeline run", design=args.design
+    ) as oc:
+        pipe = Pipeline(config)
+        run = pipe.run(
+            targets=ALL_STAGES,
+            force=args.force,
+            context={"want_router_trace": bool(args.trace)},
+        )
+        oc.router_trace = run.context.get("router_trace")
+        print(run.to_text())
+        _print_route_outputs(args, run)
+        verify = run.artifact("verify")
+        layers = verify.layer_reports()
+        conflicts = sum(entry["cut_conflicts"] for entry in layers)
+        hard = sum(entry["hard_overlay_count"] for entry in layers)
+        print(
+            f"decomposition: {'ok' if verify.ok else 'NOT ok'} — "
+            f"{len(layers)} layers verified, {conflicts} cut conflicts, "
+            f"{hard} hard overlays"
+        )
+        result = run.artifact("routing").result()
+    return _route_exit_code(result)
+
+
+def _cmd_pipeline_show(args: argparse.Namespace) -> int:
+    from .pipeline import ALL_STAGES, ArtifactStore, Pipeline
+
+    if args.design:
+        pipe = Pipeline(_pipeline_config_from_args(args))
+        for record in pipe.plan(targets=ALL_STAGES):
+            print(record.describe())
+        return 0
+    store = ArtifactStore(args.cache_dir)
+    entries = store.entries()
+    if not entries:
+        print(f"{args.cache_dir}: empty")
+        return 0
+    total = 0
+    for entry in entries:
+        total += entry.bytes
+        print(
+            f"{entry.kind:10s} {entry.stage:12s} {entry.bytes:10d} B  {entry.hash}"
+        )
+    print(f"{len(entries)} artifacts, {total} bytes in {args.cache_dir}")
+    return 0
+
+
+def _cmd_pipeline_clean(args: argparse.Namespace) -> int:
+    from .pipeline import ArtifactStore
+
+    count = ArtifactStore(args.cache_dir).clean()
+    print(f"removed {count} artifacts from {args.cache_dir}")
+    return 0
+
+
+def _pipeline_config_from_args(args: argparse.Namespace):
+    """Resolve the positional ``design`` into a netlist-file or benchmark
+    config."""
+    from .pipeline import PipelineConfig
+
+    design = args.design
+    if Path(design).exists():
+        return PipelineConfig(
+            netlist=design,
+            width=args.width,
+            height=args.height,
+            num_layers=args.layers,
+            router=args.router,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    if design.lower().startswith("test"):
+        return PipelineConfig(
+            circuit=design,
+            scale=args.scale,
+            seed=args.seed,
+            num_layers=args.layers,
+            router=args.router,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    raise ReproError(
+        f"design {design!r} is neither an existing netlist file nor a "
+        f"benchmark name (Test1..Test10)"
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .baselines import CutNoMergeRouter, DuTrimRouter, GaoPanTrimRouter
     from .bench import run_baseline, run_proposed, rows_to_table
     from .bench.workloads import spec_by_name
+    from .pipeline import observed_command
 
-    observing = _obs_begin(args)
     spec = spec_by_name(args.circuit)
-    if args.router == "ours":
-        row = run_proposed(
-            spec, scale=args.scale, seed=args.seed, workers=args.workers
-        )
-    else:
-        factory = {
-            "gao-pan": GaoPanTrimRouter,
-            "cut16": CutNoMergeRouter,
-            "du": DuTrimRouter,
-        }[args.router]
-        row = run_baseline(factory, args.router, spec, scale=args.scale, seed=args.seed)
-    print(rows_to_table([row], caption=f"{spec.name} @ scale {args.scale}"))
-    if observing:
-        _obs_finish(
-            args,
-            command="bench",
-            circuit=spec.name,
-            scale=args.scale,
-            router=args.router,
-        )
+    with observed_command(
+        args,
+        command="bench",
+        circuit=spec.name,
+        scale=args.scale,
+        router=args.router,
+    ):
+        if args.router == "ours":
+            row = run_proposed(
+                spec, scale=args.scale, seed=args.seed, workers=args.workers
+            )
+        else:
+            factory = {
+                "gao-pan": GaoPanTrimRouter,
+                "cut16": CutNoMergeRouter,
+                "du": DuTrimRouter,
+            }[args.router]
+            row = run_baseline(
+                factory, args.router, spec, scale=args.scale, seed=args.seed
+            )
+        print(rows_to_table([row], caption=f"{spec.name} @ scale {args.scale}"))
     return 0
 
 
@@ -163,13 +264,65 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--width", type=int, required=True, help="grid width in tracks")
     route.add_argument("--height", type=int, required=True, help="grid height in tracks")
     route.add_argument("--layers", type=int, default=3, help="routing layers (default 3)")
-    route.add_argument("--out", help="save the routing result as JSON")
-    route.add_argument("--svg", help="render a routed layer as SVG")
-    route.add_argument("--svg-layer", type=int, default=0, help="layer to render")
-    route.add_argument("--report", action="store_true", help="print the full analysis report")
+    _add_output_flags(route)
     _add_workers_flag(route)
     _add_obs_flags(route)
     route.set_defaults(func=_cmd_route)
+
+    pipeline = sub.add_parser(
+        "pipeline", help="staged pipeline with artifact caching"
+    )
+    psub = pipeline.add_subparsers(dest="pipeline_command", required=True)
+
+    prun = psub.add_parser(
+        "run", help="run the full staged flow (cache-hit on unchanged prefixes)"
+    )
+    prun.add_argument(
+        "design", help="netlist file, or a benchmark name (Test1..Test10)"
+    )
+    prun.add_argument("--width", type=int, help="grid width in tracks (netlist designs)")
+    prun.add_argument("--height", type=int, help="grid height in tracks (netlist designs)")
+    prun.add_argument("--layers", type=int, default=3, help="routing layers (default 3)")
+    prun.add_argument("--scale", type=float, default=0.15, help="benchmark scale (0, 1]")
+    prun.add_argument("--seed", type=int, default=2014, help="benchmark seed")
+    prun.add_argument(
+        "--router",
+        choices=("ours", "gao-pan", "cut16", "du"),
+        default="ours",
+        help="which router the route stage uses",
+    )
+    prun.add_argument(
+        "--force", action="store_true", help="re-execute every stage (refresh the cache)"
+    )
+    _add_cache_flag(prun)
+    _add_output_flags(prun)
+    _add_workers_flag(prun)
+    _add_obs_flags(prun)
+    prun.set_defaults(func=_cmd_pipeline_run)
+
+    pshow = psub.add_parser(
+        "show", help="show the stage plan for a design, or the store contents"
+    )
+    pshow.add_argument(
+        "design",
+        nargs="?",
+        help="netlist file or benchmark name (omit to list the store)",
+    )
+    pshow.add_argument("--width", type=int, help="grid width in tracks (netlist designs)")
+    pshow.add_argument("--height", type=int, help="grid height in tracks (netlist designs)")
+    pshow.add_argument("--layers", type=int, default=3)
+    pshow.add_argument("--scale", type=float, default=0.15)
+    pshow.add_argument("--seed", type=int, default=2014)
+    pshow.add_argument(
+        "--router", choices=("ours", "gao-pan", "cut16", "du"), default="ours"
+    )
+    pshow.set_defaults(workers=1)
+    _add_cache_flag(pshow)
+    pshow.set_defaults(func=_cmd_pipeline_show)
+
+    pclean = psub.add_parser("clean", help="delete every cached artifact")
+    _add_cache_flag(pclean)
+    pclean.set_defaults(func=_cmd_pipeline_clean)
 
     bench = sub.add_parser("bench", help="run a paper benchmark")
     bench.add_argument("circuit", help="Test1..Test10")
@@ -194,6 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("logfile", help="run log written by --trace")
     validate.set_defaults(func=_cmd_validate_trace)
     return parser
+
+
+def _add_cache_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        help="artifact store directory (default .repro_cache)",
+    )
+
+
+def _add_output_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("--out", help="save the routing result as JSON")
+    sub_parser.add_argument("--svg", help="render a routed layer as SVG")
+    sub_parser.add_argument("--svg-layer", type=int, default=0, help="layer to render")
+    sub_parser.add_argument(
+        "--report", action="store_true", help="print the full analysis report"
+    )
 
 
 def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:

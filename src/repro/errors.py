@@ -50,3 +50,17 @@ class ColoringError(ReproError):
 class DecompositionError(ReproError):
     """Raised when SADP mask synthesis fails or verification detects that
     the printed wafer image does not match the target layout."""
+
+
+class PipelineError(ReproError):
+    """Raised when a staged pipeline run fails.
+
+    Carries the failing stage's name so a caller (or the CLI) can tell the
+    user exactly where to resume; artifacts of stages that completed
+    before the failure stay in the cache, so re-running the same pipeline
+    restarts at the first invalid stage.
+    """
+
+    def __init__(self, message: str, stage: str = "") -> None:
+        super().__init__(message)
+        self.stage = stage

@@ -2,6 +2,21 @@
 
 from .net import Net, Pin
 from .netlist import Netlist
-from .io import read_design, read_netlist, write_netlist
+from .io import (
+    netlist_to_text,
+    read_design,
+    read_design_text,
+    read_netlist,
+    write_netlist,
+)
 
-__all__ = ["Pin", "Net", "Netlist", "read_design", "read_netlist", "write_netlist"]
+__all__ = [
+    "Pin",
+    "Net",
+    "Netlist",
+    "netlist_to_text",
+    "read_design",
+    "read_design_text",
+    "read_netlist",
+    "write_netlist",
+]

@@ -114,20 +114,55 @@ def parse_netlist(text: str) -> Netlist:
     return netlist
 
 
+def read_design_text(path: Union[str, Path]) -> str:
+    """Read a design file's raw text with actionable errors.
+
+    Missing or unreadable files raise a :class:`NetlistError` naming the
+    path instead of surfacing a raw ``OSError`` traceback; parse errors
+    raised downstream already carry the offending line number.
+    """
+    path = Path(path)
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        raise NetlistError(f"netlist file not found: {path}") from None
+    except IsADirectoryError:
+        raise NetlistError(f"netlist path is a directory, not a file: {path}") from None
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise NetlistError(f"cannot read netlist file {path}: {reason}") from None
+
+
 def read_design(path: Union[str, Path]):
-    """Read a design file: returns ``(blockages, netlist)``."""
-    return parse_design(Path(path).read_text())
+    """Read a design file: returns ``(blockages, netlist)``.
+
+    File-system problems and malformed content both raise a clean
+    :class:`NetlistError` carrying the path (and, for parse errors, the
+    line number) — never a raw traceback.
+    """
+    text = read_design_text(path)
+    try:
+        return parse_design(text)
+    except NetlistError as exc:
+        raise NetlistError(f"{path}: {exc}") from None
 
 
 def read_netlist(path: Union[str, Path]) -> Netlist:
-    """Read a netlist file."""
-    return parse_netlist(Path(path).read_text())
+    """Read a netlist file (same error contract as :func:`read_design`)."""
+    _, netlist = read_design(path)
+    return netlist
 
 
-def write_netlist(netlist: Netlist, path: Union[str, Path]) -> None:
-    """Write a netlist in the text format (round-trips with read_netlist)."""
+def netlist_to_text(netlist: Netlist) -> str:
+    """Serialise a netlist to the text format (round-trips with
+    :func:`parse_netlist`; net ids are re-assigned in order on re-read)."""
     lines = []
     for net in netlist:
         pins = [net.source, net.target, *net.taps]
         lines.append(f"{net.name} " + " -> ".join(_format_pin(p) for p in pins))
-    Path(path).write_text("\n".join(lines) + "\n")
+    return "\n".join(lines) + "\n"
+
+
+def write_netlist(netlist: Netlist, path: Union[str, Path]) -> None:
+    """Write a netlist in the text format (round-trips with read_netlist)."""
+    Path(path).write_text(netlist_to_text(netlist))

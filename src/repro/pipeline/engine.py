@@ -1,0 +1,306 @@
+"""Declarative staged execution with content-hash caching and resume.
+
+A :class:`Pipeline` wires the stages of ``stages.py`` over one
+:class:`PipelineConfig`. Every stage output is content-hashed from its
+*inputs*::
+
+    hash(output) = sha256(stage name, stage version,
+                          config slice, fingerprint extras,
+                          upstream artifact hashes)[:32]   (+ output kind)
+
+so a re-run with an unchanged prefix is a pure cache hit, and a run that
+failed mid-way naturally resumes at the first invalid stage — the hashes
+of everything before it still resolve in the store.
+
+Observability: each *executed* stage runs inside a ``stage:<name>`` span
+carrying the artifact hashes, serialized bytes, and wall seconds (the
+JSONL run log picks these up automatically); cache hits don't open spans
+but bump the ``pipeline_cache_hits_total`` counter. A test can therefore
+assert "the second run did no routing" by counting ``stage:route`` spans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..errors import PipelineError, ReproError
+from .artifacts import Artifact
+from .config import PipelineConfig
+from .stages import Stage, default_stages
+from .store import ArtifactStore, MemoryStore
+
+#: Run every stage (the full paper flow) when no targets are given.
+ALL_STAGES: Tuple[str, ...] = (
+    "load_design",
+    "build_grid",
+    "route",
+    "decompose",
+    "verify",
+    "report",
+)
+
+
+@dataclass
+class StageRecord:
+    """What happened to one stage during a run (or a plan)."""
+
+    name: str
+    status: str  # "run" | "hit" | "pending"
+    hashes: Dict[str, str] = field(default_factory=dict)
+    seconds: float = 0.0
+    bytes: int = 0
+
+    def describe(self) -> str:
+        ids = " ".join(
+            f"{kind}:{h[:12]}" for kind, h in sorted(self.hashes.items())
+        )
+        if self.status == "run":
+            detail = f"run   {self.seconds:7.2f}s {_fmt_bytes(self.bytes):>9s}"
+        elif self.status == "hit":
+            detail = f"hit   {'':7s}  {'':9s}"
+        else:
+            detail = f"{self.status:5s} {'':7s}  {'':9s}"
+        return f"stage {self.name:12s} {detail} {ids}"
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f} MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f} KB"
+    return f"{n} B"
+
+
+@dataclass
+class PipelineRun:
+    """Outcome of :meth:`Pipeline.run`: artifacts by kind plus per-stage
+    records and the run-local context (live router, router trace, ...)."""
+
+    config: PipelineConfig
+    records: List[StageRecord] = field(default_factory=list)
+    artifacts: Dict[str, Artifact] = field(default_factory=dict)
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def artifact(self, kind: str) -> Artifact:
+        try:
+            return self.artifacts[kind]
+        except KeyError:
+            raise PipelineError(
+                f"no {kind!r} artifact in this run — was its stage targeted?"
+            ) from None
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for r in self.records if r.status == "hit")
+
+    @property
+    def executed_count(self) -> int:
+        return sum(1 for r in self.records if r.status == "run")
+
+    def status_line(self) -> str:
+        return f"pipeline: {self.executed_count} run, {self.cached_count} cached"
+
+    def to_text(self) -> str:
+        return "\n".join([r.describe() for r in self.records] + [self.status_line()])
+
+
+class Pipeline:
+    """The staged execution engine.
+
+    >>> config = PipelineConfig(circuit="Test1", scale=0.1)
+    >>> run = Pipeline(config).run()            # full flow, cached
+    >>> run.artifact("routing").result().summary()
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        store: Optional[Union[ArtifactStore, MemoryStore]] = None,
+        stages: Optional[Sequence[Stage]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.store = store if store is not None else ArtifactStore(config.cache_dir)
+        self.stages: Tuple[Stage, ...] = tuple(stages or default_stages())
+        self._producer: Dict[str, Stage] = {}
+        for stage in self.stages:
+            for kind in stage.outputs:
+                if kind in self._producer:
+                    raise PipelineError(
+                        f"artifact kind {kind!r} produced by two stages"
+                    )
+                self._producer[kind] = stage
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def _needed_stages(self, targets: Sequence[str]) -> List[Stage]:
+        """The target stages plus transitive dependencies, in pipeline
+        order."""
+        by_name = {s.name: s for s in self.stages}
+        needed: set = set()
+
+        def require(stage: Stage) -> None:
+            if stage.name in needed:
+                return
+            needed.add(stage.name)
+            for kind in stage.inputs:
+                producer = self._producer.get(kind)
+                if producer is None:
+                    raise PipelineError(
+                        f"no stage produces {kind!r} (needed by {stage.name})"
+                    )
+                require(producer)
+
+        for name in targets:
+            stage = by_name.get(name)
+            if stage is None:
+                raise PipelineError(
+                    f"unknown stage {name!r}; stages are {[s.name for s in self.stages]}"
+                )
+            require(stage)
+        return [s for s in self.stages if s.name in needed]
+
+    def _output_hashes(
+        self, stage: Stage, input_hashes: Dict[str, str]
+    ) -> Dict[str, str]:
+        material = json.dumps(
+            {
+                "stage": stage.name,
+                "version": stage.version,
+                "config": stage.config_slice(self.config),
+                "extra": stage.fingerprint_extra(self.config),
+                "inputs": input_hashes,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        base = hashlib.sha256(material.encode("utf-8")).hexdigest()
+        return {
+            kind: hashlib.sha256(f"{base}:{kind}".encode("utf-8")).hexdigest()[:32]
+            for kind in stage.outputs
+        }
+
+    def plan(self, targets: Sequence[str] = ALL_STAGES) -> List[StageRecord]:
+        """Resolve every needed stage's artifact hashes and cache status
+        without executing anything."""
+        records: List[StageRecord] = []
+        known: Dict[str, str] = {}
+        for stage in self._needed_stages(targets):
+            hashes = self._output_hashes(
+                stage, {kind: known[kind] for kind in stage.inputs}
+            )
+            known.update(hashes)
+            cached = all(self.store.has(h) for h in hashes.values())
+            records.append(
+                StageRecord(
+                    name=stage.name,
+                    status="hit" if cached else "pending",
+                    hashes=hashes,
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        targets: Sequence[str] = ALL_STAGES,
+        force: bool = False,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> PipelineRun:
+        """Execute the pipeline up to ``targets`` (plus dependencies).
+
+        Unchanged prefixes are served from the artifact store; ``force``
+        re-executes every stage (results are still written back, so a
+        forced run refreshes the cache). A stage failure raises
+        :class:`PipelineError` naming the stage; artifacts of completed
+        stages remain cached, so the next run resumes after them.
+        """
+        run = PipelineRun(config=self.config, context=context if context is not None else {})
+        for stage in self._needed_stages(targets):
+            inputs = {kind: run.artifacts[kind] for kind in stage.inputs}
+            try:
+                record, produced = self._run_stage(stage, inputs, run.context, force)
+            except PipelineError:
+                raise
+            except ReproError as exc:
+                raise PipelineError(
+                    f"stage '{stage.name}' failed: {exc}", stage=stage.name
+                ) from exc
+            run.records.append(record)
+            run.artifacts.update(produced)
+        return run
+
+    def _run_stage(
+        self,
+        stage: Stage,
+        inputs: Dict[str, Artifact],
+        context: Dict[str, Any],
+        force: bool,
+    ) -> Tuple[StageRecord, Dict[str, Artifact]]:
+        hashes = self._output_hashes(
+            stage, {kind: art.hash for kind, art in inputs.items()}
+        )
+        if not force:
+            cached = {kind: self.store.load(h) for kind, h in hashes.items()}
+            if all(art is not None for art in cached.values()):
+                obs.counter_inc("pipeline_cache_hits_total", stage=stage.name)
+                return (
+                    StageRecord(name=stage.name, status="hit", hashes=hashes),
+                    cached,
+                )
+
+        t0 = time.perf_counter()
+        with obs.span(f"stage:{stage.name}", stage=stage.name) as sp:
+            produced = stage.run(self.config, inputs, context)
+        seconds = time.perf_counter() - t0
+
+        missing = set(stage.outputs) - set(produced)
+        if missing:
+            raise PipelineError(
+                f"stage '{stage.name}' did not produce {sorted(missing)}",
+                stage=stage.name,
+            )
+        nbytes = 0
+        for kind in stage.outputs:
+            artifact = produced[kind]
+            artifact.hash = hashes[kind]
+            nbytes += self.store.save(artifact, stage.name)
+        obs.counter_inc("pipeline_stage_runs_total", stage=stage.name)
+        if obs.is_enabled():
+            # The finished span is already recorded; attrs mutate in place.
+            sp.attrs.update(
+                {
+                    "hashes": dict(hashes),
+                    "bytes": nbytes,
+                    "seconds": round(seconds, 6),
+                }
+            )
+        return (
+            StageRecord(
+                name=stage.name,
+                status="run",
+                hashes=hashes,
+                seconds=seconds,
+                bytes=nbytes,
+            ),
+            {kind: produced[kind] for kind in stage.outputs},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def clean(self) -> int:
+        """Empty the artifact store; returns the number of artifacts
+        removed."""
+        return self.store.clean()

@@ -1,0 +1,63 @@
+"""Shared CLI observability wiring.
+
+Every pipeline-driven command used to copy the same enable/print/export/
+disable dance (``_cmd_route`` and ``_cmd_bench`` each had a private
+``_obs_begin``/``_obs_finish`` pair). :func:`observed_command` is the one
+place that handles the ``--metrics`` / ``--trace`` flags now: it enables
+observability when asked, yields a handle the command can hang a router
+trace and extra metadata on, and on exit prints the per-phase table,
+exports the JSONL run log, and switches observability back off — even
+when the command raises.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+
+class ObservedCommand:
+    """Mutable handle yielded by :func:`observed_command`."""
+
+    def __init__(self, meta: Dict[str, Any]) -> None:
+        #: Run-log metadata (merged into the JSONL meta line).
+        self.meta = meta
+        #: A :class:`~repro.router.RouterTrace` to merge into the run log.
+        self.router_trace: Optional[Any] = None
+
+
+@contextmanager
+def observed_command(args: Any, **meta: Any) -> Iterator[ObservedCommand]:
+    """Scope a CLI command's observability per its ``--metrics``/``--trace``
+    flags.
+
+    ``args`` is the parsed argparse namespace; commands without the obs
+    flags simply run unobserved. The yielded handle's ``router_trace``
+    and ``meta`` feed the JSONL export.
+    """
+    wants_metrics = bool(getattr(args, "metrics", False))
+    trace_path = getattr(args, "trace", None)
+    handle = ObservedCommand(dict(meta))
+    if not (wants_metrics or trace_path):
+        yield handle
+        return
+
+    from .. import obs
+
+    obs.enable()
+    try:
+        yield handle
+        if wants_metrics:
+            ob = obs.get_active()
+            print()
+            print(obs.phase_table())
+            if ob is not None:
+                print()
+                print(ob.registry.to_text())
+        if trace_path:
+            path = obs.export_run_jsonl(
+                trace_path, router_trace=handle.router_trace, meta=handle.meta
+            )
+            print(f"run log written to {path}")
+    finally:
+        obs.disable()

@@ -1,0 +1,161 @@
+"""Content-addressed artifact stores.
+
+An artifact's hash is derived from its *inputs* (stage version, upstream
+hashes, config slice — see ``engine.py``), so a store lookup answers "has
+this exact computation already run?" without touching the payload.
+
+Two implementations share one interface:
+
+* :class:`ArtifactStore` — a ``.repro_cache/`` directory of one JSON file
+  per artifact; survives across processes and powers ``--resume``.
+* :class:`MemoryStore` — a plain dict; used where caching should stay
+  inside one process (the legacy ``repro route`` path, unit tests).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import PipelineError
+from .artifacts import Artifact, artifact_from_record
+
+#: Store record schema; bumped on breaking layout changes.
+STORE_SCHEMA = 1
+
+
+@dataclass
+class StoreEntry:
+    """Metadata of one cached artifact (for ``repro pipeline show``)."""
+
+    kind: str
+    stage: str
+    hash: str
+    bytes: int
+    created_unix: float
+
+
+class MemoryStore:
+    """In-process artifact store (no disk I/O)."""
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, Artifact] = {}
+        self._stages: Dict[str, str] = {}
+
+    def has(self, hash: str) -> bool:
+        return hash in self._artifacts
+
+    def load(self, hash: str) -> Optional[Artifact]:
+        return self._artifacts.get(hash)
+
+    def save(self, artifact: Artifact, stage: str) -> int:
+        self._artifacts[artifact.hash] = artifact
+        self._stages[artifact.hash] = stage
+        return len(json.dumps(artifact.payload))
+
+    def entries(self) -> List[StoreEntry]:
+        return [
+            StoreEntry(
+                kind=art.kind,
+                stage=self._stages.get(h, ""),
+                hash=h,
+                bytes=len(json.dumps(art.payload)),
+                created_unix=0.0,
+            )
+            for h, art in sorted(self._artifacts.items())
+        ]
+
+    def clean(self) -> int:
+        count = len(self._artifacts)
+        self._artifacts.clear()
+        self._stages.clear()
+        return count
+
+
+class ArtifactStore:
+    """Directory-backed content-addressed store (``.repro_cache/``).
+
+    Layout: one ``<hash>.json`` file per artifact holding
+    ``{"schema", "kind", "stage", "hash", "created_unix", "payload"}``.
+    Writes go through a temp file + rename so a crashed run never leaves
+    a half-written artifact that a resume would trust.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def _path(self, hash: str) -> Path:
+        return self.root / f"{hash}.json"
+
+    def has(self, hash: str) -> bool:
+        return self._path(hash).is_file()
+
+    def load(self, hash: str) -> Optional[Artifact]:
+        path = self._path(hash)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PipelineError(
+                f"corrupt artifact {path} — run 'repro pipeline clean' "
+                f"or delete the file ({exc})"
+            ) from None
+        if record.get("schema") != STORE_SCHEMA:
+            # Older/newer layout: treat as a miss so the stage re-runs.
+            return None
+        return artifact_from_record(record)
+
+    def save(self, artifact: Artifact, stage: str) -> int:
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": STORE_SCHEMA,
+            "kind": artifact.kind,
+            "stage": stage,
+            "hash": artifact.hash,
+            "created_unix": time.time(),
+            "payload": artifact.payload,
+        }
+        data = json.dumps(record, sort_keys=True)
+        path = self._path(artifact.hash)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(data, encoding="utf-8")
+        tmp.replace(path)
+        return len(data)
+
+    def entries(self) -> List[StoreEntry]:
+        out: List[StoreEntry] = []
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if record.get("schema") != STORE_SCHEMA:
+                continue
+            out.append(
+                StoreEntry(
+                    kind=str(record.get("kind", "?")),
+                    stage=str(record.get("stage", "?")),
+                    hash=str(record.get("hash", path.stem)),
+                    bytes=path.stat().st_size,
+                    created_unix=float(record.get("created_unix", 0.0)),
+                )
+            )
+        return out
+
+    def clean(self) -> int:
+        """Delete every cached artifact; returns the number removed."""
+        count = 0
+        if not self.root.is_dir():
+            return count
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            count += 1
+        for path in self.root.glob("*.json.tmp"):
+            path.unlink()
+        return count

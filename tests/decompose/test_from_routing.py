@@ -1,0 +1,111 @@
+"""Tests for ``routing_to_targets`` — in particular the clip-window path
+and layers/nets without segments."""
+
+import pytest
+
+from repro.color import Color
+from repro.decompose import routing_to_targets
+from repro.geometry import Point, Rect, Segment
+from repro.grid import RoutingGrid, default_layer_stack
+from repro.router.result import NetRoute, RoutingResult
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(width=20, height=20, layers=default_layer_stack(2))
+
+
+def _result(*routes, colorings=None):
+    return RoutingResult(
+        routes={r.net_id: r for r in routes},
+        colorings=colorings or {},
+    )
+
+
+def _hseg(layer, y, x0, x1):
+    return Segment(layer, Point(x0, y), Point(x1, y))
+
+
+class TestBasics:
+    def test_colors_from_result_with_core_default(self, grid):
+        result = _result(
+            NetRoute(net_id=0, segments=[_hseg(0, 2, 1, 8)], success=True),
+            NetRoute(net_id=1, segments=[_hseg(0, 4, 1, 8)], success=True),
+            colorings={0: {0: Color.SECOND}},
+        )
+        targets = routing_to_targets(grid, result, 0)
+        by_net = {t.net_id: t for t in targets}
+        assert by_net[0].color == Color.SECOND
+        assert by_net[1].color == Color.CORE  # uncolored nets default to CORE
+
+    def test_failed_routes_excluded(self, grid):
+        result = _result(
+            NetRoute(net_id=0, segments=[_hseg(0, 2, 1, 8)], success=False),
+            NetRoute(net_id=1, segments=[_hseg(0, 4, 1, 8)], success=True),
+        )
+        targets = routing_to_targets(grid, result, 0)
+        assert [t.net_id for t in targets] == [1]
+
+    def test_layer_without_segments_is_empty(self, grid):
+        result = _result(
+            NetRoute(net_id=0, segments=[_hseg(0, 2, 1, 8)], success=True)
+        )
+        assert routing_to_targets(grid, result, 1) == []
+
+    def test_net_with_no_segments_on_layer_omitted(self, grid):
+        result = _result(
+            NetRoute(net_id=0, segments=[_hseg(0, 2, 1, 8)], success=True),
+            NetRoute(net_id=1, segments=[_hseg(1, 4, 1, 8)], success=True),
+        )
+        targets = routing_to_targets(grid, result, 0)
+        assert [t.net_id for t in targets] == [0]
+
+
+class TestClipWindow:
+    def test_segment_straddling_clip_boundary_is_kept(self, grid):
+        # A segment from x=2 to x=15 overlaps a clip ending at x=10; the
+        # whole segment must survive (clipping selects, it never cuts).
+        result = _result(
+            NetRoute(net_id=0, segments=[_hseg(0, 5, 2, 15)], success=True)
+        )
+        clip = Rect(0, 0, 10, 10)
+        targets = routing_to_targets(grid, result, 0, clip=clip)
+        assert len(targets) == 1
+        rect = targets[0].rects[0]
+        pitch = grid.rules.pitch
+        # Full extent in nm, not truncated at the clip edge.
+        assert rect.xhi >= 15 * pitch - grid.rules.w_line
+
+    def test_segment_outside_clip_dropped(self, grid):
+        result = _result(
+            NetRoute(
+                net_id=0,
+                segments=[_hseg(0, 5, 2, 6), _hseg(0, 15, 12, 18)],
+                success=True,
+            )
+        )
+        targets = routing_to_targets(grid, result, 0, clip=Rect(0, 0, 10, 10))
+        assert len(targets) == 1
+        assert len(targets[0].rects) == 1
+        assert len(targets[0].horizontal) == 1
+
+    def test_net_entirely_outside_clip_omitted(self, grid):
+        result = _result(
+            NetRoute(net_id=0, segments=[_hseg(0, 15, 12, 18)], success=True),
+            NetRoute(net_id=1, segments=[_hseg(0, 5, 2, 6)], success=True),
+        )
+        targets = routing_to_targets(grid, result, 0, clip=Rect(0, 0, 10, 10))
+        assert [t.net_id for t in targets] == [1]
+
+    def test_no_clip_equals_full_window_clip(self, grid):
+        result = _result(
+            NetRoute(
+                net_id=0,
+                segments=[_hseg(0, 5, 2, 6), _hseg(0, 15, 12, 18)],
+                success=True,
+            )
+        )
+        full = Rect(0, 0, grid.width, grid.height)
+        assert routing_to_targets(grid, result, 0) == routing_to_targets(
+            grid, result, 0, clip=full
+        )

@@ -1,0 +1,87 @@
+"""Golden end-to-end pipeline tests on the Test1 benchmark.
+
+Pins down the refactor's contract: the staged pipeline produces the same
+routing result and report text as the legacy live-router path, artifact
+hashes are stable across runs, and a cached re-run does zero routing or
+decomposition work (asserted through the span tracer).
+"""
+
+import pytest
+
+from repro import obs
+from repro.analysis import analyze
+from repro.bench.workloads import generate_benchmark, spec_by_name
+from repro.pipeline import ALL_STAGES, Pipeline, PipelineConfig
+from repro.router import SadpRouter
+from repro.router.io import result_to_dict
+
+SCALE = 0.1
+
+
+@pytest.fixture
+def config(tmp_path):
+    return PipelineConfig(
+        circuit="Test1", scale=SCALE, cache_dir=str(tmp_path / "cache")
+    )
+
+
+def _zero_cpu(result_dict):
+    """Wall-clock cpu_seconds differs between live runs; everything else
+    must be byte-identical."""
+    out = dict(result_dict)
+    out["metrics"] = dict(out.get("metrics", {}), cpu_seconds=0.0)
+    return out
+
+
+class TestGolden:
+    def test_hashes_stable_across_runs(self, config):
+        first = Pipeline(config).run()
+        second = Pipeline(config).run()
+        assert {k: a.hash for k, a in first.artifacts.items()} == {
+            k: a.hash for k, a in second.artifacts.items()
+        }
+        assert second.status_line() == "pipeline: 0 run, 6 cached"
+
+    def test_cached_run_does_no_routing_work(self, config):
+        Pipeline(config).run()
+        with obs.session() as ob:
+            run = Pipeline(config).run()
+        assert run.executed_count == 0
+        assert ob.tracer.spans_named("stage:route") == []
+        assert ob.tracer.spans_named("stage:decompose") == []
+        assert ob.tracer.spans_named("route_net") == []
+        assert ob.registry.total("pipeline_cache_hits_total") == len(ALL_STAGES)
+
+    def test_executed_run_opens_stage_spans(self, config):
+        with obs.session() as ob:
+            Pipeline(config).run()
+        for name in ALL_STAGES:
+            spans = ob.tracer.spans_named(f"stage:{name}")
+            assert len(spans) == 1
+            assert spans[0].attrs.get("hashes")
+            assert spans[0].attrs.get("bytes", 0) > 0
+
+    def test_result_matches_legacy_live_routing(self, config):
+        run = Pipeline(config).run(targets=("report",))
+        pipelined = run.artifact("routing").result()
+
+        spec = spec_by_name("Test1")
+        grid, nets = generate_benchmark(spec, scale=SCALE, seed=config.seed)
+        router = SadpRouter(grid, nets)
+        live = router.route_all()
+
+        assert _zero_cpu(result_to_dict(pipelined)) == _zero_cpu(
+            result_to_dict(live)
+        )
+        # The serialized report renders byte-identically to the live
+        # analyze() path (instrumentation is run-local on both sides).
+        assert run.artifact("report").report().to_text() == analyze(
+            router, live
+        ).to_text()
+
+    def test_cached_result_identical_to_first_run(self, config):
+        first = Pipeline(config).run(targets=("route",))
+        second = Pipeline(config).run(targets=("route",))
+        assert result_to_dict(second.artifact("routing").result()) == result_to_dict(
+            first.artifact("routing").result()
+        )

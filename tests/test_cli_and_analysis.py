@@ -136,6 +136,50 @@ class TestCli:
             parser.parse_args(["--version"])
         assert exc.value.code == 0
 
+    def test_route_exit_code_nonzero_on_unrouted_net(self, tmp_path, capsys):
+        # Wall in one net's source pin; the router must fail that net and
+        # the CLI must report the partial result with a nonzero exit code.
+        path = tmp_path / "blocked.txt"
+        path.write_text(
+            "BLOCK L0 4,4,7,7\n"
+            "a L0 5,5 -> L0 9,9\n"
+            "b L0 0,0 -> L0 3,0\n"
+        )
+        rc = main(["route", str(path), "--width", "10", "--height", "10"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "routed 1/2" in out
+
+    def test_route_exit_code_zero_on_full_success(self, netlist_file, capsys):
+        rc = main(["route", str(netlist_file), "--width", "30", "--height", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "routed 3/3" in out
+
+    def test_route_missing_netlist_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.txt"
+        rc = main(["route", str(missing), "--width", "10", "--height", "10"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert "nope.txt" in err
+        assert "Traceback" not in err
+
+    def test_route_malformed_netlist_reports_path_and_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("a L0 2,10 -> L0 20,10\nthis is not a net\n")
+        rc = main(["route", str(bad), "--width", "30", "--height", "30"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "bad.txt" in err
+        assert "line 2" in err
+
+    def test_route_netlist_path_is_directory(self, tmp_path, capsys):
+        rc = main(["route", str(tmp_path), "--width", "10", "--height", "10"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "directory" in err
+
 
 class TestAnalysis:
     @pytest.fixture
