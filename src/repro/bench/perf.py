@@ -2,10 +2,11 @@
 
 Measures the router's end-to-end wall time on scaled paper workloads with
 observability **off** (the production configuration), comparing the
-flat-index fast A* path against the dict-based reference implementation.
-Rounds are interleaved — reference, fast, reference, fast, … — so thermal
-drift and background noise hit both modes equally, and the per-mode
-minimum over rounds is reported (the least-noise estimate of true cost).
+flat-index fast A* path against the dict-based reference implementation,
+and the guidance-pruned fast path against the unguided one. Rounds are
+interleaved — reference, fast, guided, … — so thermal drift and
+background noise hit all modes equally, and the per-mode minimum over
+rounds is reported (the least-noise estimate of true cost).
 
 Results land in ``BENCH_perf.json``::
 
@@ -30,7 +31,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..obs.export import phase_totals
@@ -43,16 +44,46 @@ SCHEMA = "repro-bench-perf/1"
 #: minutes while Test5 is large enough for a stable speedup estimate.
 DEFAULT_SCALES: Dict[str, float] = {
     "Test1": 0.20,
+    "Test2": 0.15,
+    "Test3": 0.15,
     "Test5": 0.12,
     "Test6": 0.20,
 }
 
-DEFAULT_WORKLOADS = ("Test1", "Test5", "Test6")
+#: The bench samples the paper's suite at both ends: the fixed-pin family
+#: at three sizes (Test1-Test3 small/mid, Test5 large) plus the
+#: multi-candidate variant Test6, whose many tiny searches exercise the
+#: guidance size gate rather than the guided path.
+DEFAULT_WORKLOADS = ("Test1", "Test2", "Test3", "Test5", "Test6")
+
+#: Bench modes and the router configuration each one measures.
+#: ``fast`` is the unguided flat-array path (the guidance-off side of the
+#: A/B); ``guided`` enables the future-cost corridor maps.
+_MODE_CONFIG = {
+    "reference": dict(use_reference=True, guidance="off"),
+    "fast": dict(use_reference=False, guidance="off"),
+    "guided": dict(use_reference=False, guidance="auto"),
+    "parallel": dict(use_reference=False, guidance="auto"),
+}
+
+
+@dataclass
+class _Run:
+    """Raw counters of one fresh route_all."""
+
+    wall_s: float
+    expansions: int
+    searches: int
+    guided_searches: int
+    guidance_builds: int
+    routability_pct: float
+    overlay_units: float
+    parallel_stats: Optional[dict]
 
 
 @dataclass
 class ModeSample:
-    """One mode's (reference or fast) best-of-rounds measurement."""
+    """One mode's best-of-rounds measurement (plus its phase split)."""
 
     route_all_s: float
     rounds_s: List[float]
@@ -60,21 +91,41 @@ class ModeSample:
     searches: int
     routability_pct: float
     overlay_units: float
+    guided_searches: int = 0
+    guidance_builds: int = 0
+    #: Per-phase runtime split of this mode's own instrumented run —
+    #: every sample carries its own phases (the split used to be
+    #: emitted once per workload, which misattributed the reference
+    #: and parallel profiles to the fast path).
+    phases: Dict[str, float] = field(default_factory=dict)
+    phases_route_all_s: float = 0.0
 
     @property
     def expansions_per_s(self) -> float:
         return self.expansions / self.route_all_s if self.route_all_s > 0 else 0.0
 
+    @property
+    def expansions_per_search(self) -> float:
+        return self.expansions / self.searches if self.searches else 0.0
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "route_all_s": round(self.route_all_s, 6),
             "rounds_s": [round(r, 6) for r in self.rounds_s],
             "expansions": self.expansions,
             "searches": self.searches,
             "expansions_per_s": round(self.expansions_per_s, 1),
+            "expansions_per_search": round(self.expansions_per_search, 1),
             "routability_pct": round(self.routability_pct, 2),
             "overlay_units": self.overlay_units,
         }
+        if self.guided_searches or self.guidance_builds:
+            out["guided_searches"] = self.guided_searches
+            out["guidance_builds"] = self.guidance_builds
+        if self.phases:
+            out["phases_s"] = {k: round(v, 6) for k, v in self.phases.items()}
+            out["phases_route_all_s"] = round(self.phases_route_all_s, 6)
+        return out
 
 
 @dataclass
@@ -84,19 +135,28 @@ class WorkloadResult:
     seed: int
     fast: ModeSample
     reference: Optional[ModeSample] = None
+    guided: Optional[ModeSample] = None
     parallel: Optional[ModeSample] = None
     parallel_stats: Optional[dict] = None
-    phases: Dict[str, float] = field(default_factory=dict)
-    #: route_all wall time of the instrumented phase-split run. The phase
-    #: buckets are disjoint self-time slices of this run, so
-    #: ``sum(phases_s.values()) <= phases_route_all_s`` holds exactly.
-    phases_route_all_s: float = 0.0
 
     @property
     def speedup(self) -> Optional[float]:
         if self.reference is None or self.fast.route_all_s <= 0:
             return None
         return self.reference.route_all_s / self.fast.route_all_s
+
+    @property
+    def guidance_speedup(self) -> Optional[float]:
+        if self.guided is None or self.guided.route_all_s <= 0:
+            return None
+        return self.fast.route_all_s / self.guided.route_all_s
+
+    @property
+    def expansion_reduction(self) -> Optional[float]:
+        """Unguided / guided expansion count (>= 1.0 by construction)."""
+        if self.guided is None or self.guided.expansions <= 0:
+            return None
+        return self.fast.expansions / self.guided.expansions
 
     @property
     def parallel_speedup(self) -> Optional[float]:
@@ -117,31 +177,51 @@ class WorkloadResult:
             out["walltime_reduction_pct"] = round(
                 (1.0 - self.fast.route_all_s / self.reference.route_all_s) * 100.0, 2
             )
+        if self.guided is not None:
+            out["guided"] = self.guided.to_dict()
+            out["guidance_speedup"] = round(self.guidance_speedup, 4)
+            out["expansion_reduction"] = round(self.expansion_reduction, 4)
         if self.parallel is not None:
             out["parallel"] = self.parallel.to_dict()
             out["parallel_speedup"] = round(self.parallel_speedup, 4)
             if self.parallel_stats is not None:
                 out["parallel_stats"] = self.parallel_stats
-        if self.phases:
-            out["phases_s"] = {k: round(v, 6) for k, v in self.phases.items()}
-            out["phases_route_all_s"] = round(self.phases_route_all_s, 6)
         return out
+
+
+def _make_router(
+    circuit: str,
+    scale: float,
+    seed: int,
+    mode: str,
+    workers: Union[int, str] = 1,
+    executor: str = "process",
+) -> SadpRouter:
+    """A fresh router instance configured for one bench mode."""
+    spec = spec_by_name(circuit)
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    cfg = _MODE_CONFIG[mode]
+    router = SadpRouter(
+        grid,
+        nets,
+        workers=workers if mode == "parallel" else 1,
+        executor=executor,
+        guidance=cfg["guidance"],
+    )
+    router.engine.use_reference = cfg["use_reference"]
+    return router
 
 
 def _run_once(
     circuit: str,
     scale: float,
     seed: int,
-    use_reference: bool,
-    workers: int = 1,
+    mode: str,
+    workers: Union[int, str] = 1,
     executor: str = "process",
-) -> Tuple[float, int, int, float, float, Optional[dict]]:
-    """One fresh instance + route_all; returns (wall_s, expansions,
-    searches, routability_pct, overlay_units, parallel_stats)."""
-    spec = spec_by_name(circuit)
-    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
-    router = SadpRouter(grid, nets, workers=workers, executor=executor)
-    router.engine.use_reference = use_reference
+) -> _Run:
+    """One fresh instance + route_all with the mode's configuration."""
+    router = _make_router(circuit, scale, seed, mode, workers, executor)
     t0 = time.perf_counter()
     result = router.route_all()
     wall = time.perf_counter() - t0
@@ -150,28 +230,38 @@ def _run_once(
         if router.parallel_stats is not None
         else None
     )
-    return (
-        wall,
-        router.engine.total_expansions,
-        router.engine.total_searches,
-        result.routability * 100.0,
-        result.overlay_units,
-        stats,
+    return _Run(
+        wall_s=wall,
+        expansions=router.engine.total_expansions,
+        searches=router.engine.total_searches,
+        guided_searches=router.engine.total_guided_searches,
+        guidance_builds=router.engine.total_guidance_builds,
+        routability_pct=result.routability * 100.0,
+        overlay_units=result.overlay_units,
+        parallel_stats=stats,
     )
 
 
-def _phase_split(circuit: str, scale: float, seed: int) -> Tuple[Dict[str, float], float]:
+def _phase_split(
+    circuit: str,
+    scale: float,
+    seed: int,
+    mode: str = "fast",
+    workers: Union[int, str] = 1,
+    executor: str = "process",
+) -> Tuple[Dict[str, float], float]:
     """One instrumented (untimed-for-comparison) run for the phase split.
 
     Returns (phase seconds, route_all seconds of that same run). The
     buckets are disjoint — ``commit`` is measured as the commit span's
-    *self* time — so their sum never exceeds the route_all total.
+    *self* time — so their sum never exceeds the route_all total. For
+    the ``parallel`` mode the split covers main-process spans only
+    (worker processes do not propagate tracer state).
     """
-    spec = spec_by_name(circuit)
-    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    router = _make_router(circuit, scale, seed, mode, workers, executor)
     with obs.session():
         before = dict(phase_totals())
-        SadpRouter(grid, nets).route_all()
+        router.route_all()
         after = phase_totals()
         ob = obs.get_active()
         route_all_s = (
@@ -186,24 +276,32 @@ def _phase_split(circuit: str, scale: float, seed: int) -> Tuple[Dict[str, float
     return phases, route_all_s
 
 
+def _wants_parallel(workers: Union[int, str]) -> bool:
+    return workers == "auto" or (isinstance(workers, int) and workers > 1)
+
+
 def run_perf(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     scales: Optional[Dict[str, float]] = None,
     seed: int = 2014,
     rounds: int = 3,
     include_reference: bool = True,
+    include_guidance: bool = True,
     include_phases: bool = True,
-    workers: int = 1,
+    workers: Union[int, str] = 1,
     executor: str = "process",
     verbose: bool = True,
 ) -> dict:
     """Run the perf bench; returns the ``BENCH_perf.json`` payload.
 
-    With ``workers > 1`` each workload also runs through the parallel
-    batch-routing engine (same instance, same seed) and the payload
-    grows ``parallel`` / ``parallel_speedup`` / ``parallel_stats``
-    fields; :func:`check_parallel_equivalence` gates that the parallel
-    run produced identical routability and overlay.
+    With ``include_guidance`` each workload runs a guidance-on/off A/B
+    of the fast path (``guided`` sample, ``guidance_speedup``,
+    ``expansion_reduction``); :func:`check_guidance_equivalence` gates
+    that the guided run produced identical metrics from strictly fewer
+    (or equal) expansions. With ``workers`` > 1 or ``"auto"`` each
+    workload also runs through the parallel batch-routing engine and the
+    payload grows ``parallel`` / ``parallel_speedup`` /
+    ``parallel_stats``; :func:`check_parallel_equivalence` gates those.
     """
     if obs.is_enabled():
         raise RuntimeError(
@@ -211,53 +309,61 @@ def run_perf(
             "production configuration); call obs.disable() first"
         )
     scales = {**DEFAULT_SCALES, **(scales or {})}
+    use_parallel = _wants_parallel(workers)
     results: List[WorkloadResult] = []
     for circuit in workloads:
         scale = scales.get(circuit, 0.15)
-        modes = ["reference", "fast"] if include_reference else ["fast"]
-        if workers > 1:
+        modes = ["fast"]
+        if include_reference:
+            modes.insert(0, "reference")
+        if include_guidance:
+            modes.append("guided")
+        if use_parallel:
             modes.append("parallel")
-        samples: Dict[str, List[Tuple[float, int, int, float, float, Optional[dict]]]] = {
-            m: [] for m in modes
-        }
-        for _ in range(rounds):
-            for mode in modes:  # interleaved: all modes see the same drift
+        samples: Dict[str, List[_Run]] = {m: [] for m in modes}
+        for rnd in range(rounds):
+            # Interleaved so all modes see the same machine drift, and
+            # rotated so no mode always occupies the same slot of the
+            # round — a speed trend within a round would otherwise bias
+            # whichever mode consistently ran first (or last).
+            for mode in modes[rnd % len(modes) :] + modes[: rnd % len(modes)]:
                 samples[mode].append(
-                    _run_once(
-                        circuit,
-                        scale,
-                        seed,
-                        use_reference=(mode == "reference"),
-                        workers=workers if mode == "parallel" else 1,
-                        executor=executor,
-                    )
+                    _run_once(circuit, scale, seed, mode, workers, executor)
                 )
+
         def best(mode: str) -> ModeSample:
             runs = samples[mode]
-            idx = min(range(len(runs)), key=lambda i: runs[i][0])
-            wall, exp, searches, rout, ovl, _ = runs[idx]
-            return ModeSample(
-                route_all_s=wall,
-                rounds_s=[r[0] for r in runs],
-                expansions=exp,
-                searches=searches,
-                routability_pct=rout,
-                overlay_units=ovl,
+            idx = min(range(len(runs)), key=lambda i: runs[i].wall_s)
+            run = runs[idx]
+            sample = ModeSample(
+                route_all_s=run.wall_s,
+                rounds_s=[r.wall_s for r in runs],
+                expansions=run.expansions,
+                searches=run.searches,
+                routability_pct=run.routability_pct,
+                overlay_units=run.overlay_units,
+                guided_searches=run.guided_searches,
+                guidance_builds=run.guidance_builds,
             )
+            if include_phases:
+                sample.phases, sample.phases_route_all_s = _phase_split(
+                    circuit, scale, seed, mode, workers, executor
+                )
+            return sample
+
         wl = WorkloadResult(
             circuit=circuit,
             scale=scale,
             seed=seed,
             fast=best("fast"),
             reference=best("reference") if include_reference else None,
+            guided=best("guided") if include_guidance else None,
         )
-        if workers > 1:
+        if use_parallel:
             wl.parallel = best("parallel")
             runs = samples["parallel"]
-            idx = min(range(len(runs)), key=lambda i: runs[i][0])
-            wl.parallel_stats = runs[idx][5]
-        if include_phases:
-            wl.phases, wl.phases_route_all_s = _phase_split(circuit, scale, seed)
+            idx = min(range(len(runs)), key=lambda i: runs[i].wall_s)
+            wl.parallel_stats = runs[idx].parallel_stats
         results.append(wl)
         if verbose:
             line = (
@@ -268,6 +374,12 @@ def run_perf(
                 line += (
                     f", reference {wl.reference.route_all_s:.3f}s"
                     f" -> speedup {wl.speedup:.2f}x"
+                )
+            if wl.guided is not None:
+                line += (
+                    f", guided {wl.guided.route_all_s:.3f}s"
+                    f" -> {wl.guidance_speedup:.2f}x"
+                    f" ({wl.expansion_reduction:.1f}x fewer expansions)"
                 )
             if wl.parallel is not None:
                 line += (
@@ -293,16 +405,64 @@ def run_perf(
         },
         "workloads": [wl.to_dict() for wl in results],
     }
+    summary: Dict[str, float] = {}
+
+    def _geo(values: List[float]) -> float:
+        product = 1.0
+        for v in values:
+            product *= v
+        return product ** (1.0 / len(values))
+
     speedups = [wl.speedup for wl in results if wl.speedup is not None]
     if speedups:
-        geo = 1.0
-        for s in speedups:
-            geo *= s
-        payload["summary"] = {
-            "geomean_speedup": round(geo ** (1.0 / len(speedups)), 4),
-            "min_speedup": round(min(speedups), 4),
-        }
+        summary["geomean_speedup"] = round(_geo(speedups), 4)
+        summary["min_speedup"] = round(min(speedups), 4)
+    gspeedups = [
+        wl.guidance_speedup for wl in results if wl.guidance_speedup is not None
+    ]
+    if gspeedups:
+        summary["geomean_guidance_speedup"] = round(_geo(gspeedups), 4)
+        summary["min_guidance_speedup"] = round(min(gspeedups), 4)
+        reductions = [
+            wl.expansion_reduction
+            for wl in results
+            if wl.expansion_reduction is not None
+        ]
+        summary["geomean_expansion_reduction"] = round(_geo(reductions), 4)
+    if summary:
+        payload["summary"] = summary
     return payload
+
+
+def render_phase_table(payload: dict) -> str:
+    """Text table of the per-variant phase splits of a bench payload.
+
+    One row per (workload, variant): each sample now carries its own
+    ``phases_s``, so the table shows where *that* configuration spends
+    its time instead of reusing the sequential fast split for all of
+    them.
+    """
+    phases = ("search", "graph", "flip", "commit")
+    header = (
+        f"{'circuit':9s} {'variant':9s} "
+        + " ".join(f"{p + '_s':>9s}" for p in phases)
+        + f" {'other_s':>9s} {'total_s':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for wl in payload.get("workloads", []):
+        for variant in ("reference", "fast", "guided", "parallel"):
+            sample = wl.get(variant)
+            if not sample or "phases_s" not in sample:
+                continue
+            split = sample["phases_s"]
+            total = sample.get("phases_route_all_s", 0.0)
+            other = max(0.0, total - sum(split.values()))
+            lines.append(
+                f"{wl['circuit']:9s} {variant:9s} "
+                + " ".join(f"{split.get(p, 0.0):9.3f}" for p in phases)
+                + f" {other:9.3f} {total:9.3f}"
+            )
+    return "\n".join(lines)
 
 
 def check_parallel_equivalence(payload: dict) -> List[str]:
@@ -329,6 +489,34 @@ def check_parallel_equivalence(payload: dict) -> List[str]:
             problems.append(
                 f"{wl['circuit']}: parallel overlay {par['overlay_units']} "
                 f"!= sequential {fast['overlay_units']}"
+            )
+    return problems
+
+
+def check_guidance_equivalence(payload: dict) -> List[str]:
+    """Correctness gate for the guidance A/B.
+
+    Corridor pruning is designed to be invisible: the guided fast path
+    must commit the same routes (identical routability and overlay
+    units, same search count) while expanding no more nodes than the
+    unguided one. Returns a list of problems (empty = pass).
+    """
+    problems: List[str] = []
+    for wl in payload.get("workloads", []):
+        guided = wl.get("guided")
+        if guided is None:
+            continue
+        fast = wl["fast"]
+        for metric in ("routability_pct", "overlay_units", "searches"):
+            if guided[metric] != fast[metric]:
+                problems.append(
+                    f"{wl['circuit']}: guided {metric} {guided[metric]} "
+                    f"!= unguided {fast[metric]}"
+                )
+        if guided["expansions"] > fast["expansions"]:
+            problems.append(
+                f"{wl['circuit']}: guided expansions {guided['expansions']} "
+                f"> unguided {fast['expansions']} (pruning must never add work)"
             )
     return problems
 
@@ -366,6 +554,12 @@ def check_against_baseline(
     return problems
 
 
+def _parse_workers(value: str) -> Union[int, str]:
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.perf", description=__doc__.splitlines()[0]
@@ -390,14 +584,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the reference-path runs (fast-only timing)",
     )
     parser.add_argument(
+        "--no-guidance",
+        action="store_true",
+        help="skip the guidance-on/off A/B runs",
+    )
+    parser.add_argument(
         "--no-phases", action="store_true", help="skip the instrumented phase split"
     )
     parser.add_argument(
+        "--phase-table",
+        action="store_true",
+        help="print the per-variant phase table after the run",
+    )
+    parser.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         default=1,
-        help="also time the parallel batch router with N workers and gate "
-        "its results against the sequential run",
+        help="also time the parallel batch router with N workers (or "
+        "'auto' for the scheduler-predicted choice) and gate its results "
+        "against the sequential run",
     )
     parser.add_argument(
         "--executor",
@@ -428,22 +633,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         rounds=args.rounds,
         include_reference=not args.no_reference,
+        include_guidance=not args.no_guidance,
         include_phases=not args.no_phases,
         workers=args.workers,
         executor=args.executor,
     )
-    if args.workers > 1:
+    if not args.no_guidance:
+        g_problems = check_guidance_equivalence(payload)
+        if g_problems:
+            for problem in g_problems:
+                print(f"GUIDANCE MISMATCH: {problem}", file=sys.stderr)
+            return 1
+        print("guidance on/off equivalence: OK")
+    if _wants_parallel(args.workers):
         eq_problems = check_parallel_equivalence(payload)
         if eq_problems:
             for problem in eq_problems:
                 print(f"PARALLEL MISMATCH: {problem}", file=sys.stderr)
             return 1
         print(f"parallel equivalence at --workers {args.workers}: OK")
-    if "summary" in payload:
+    summary = payload.get("summary", {})
+    if "geomean_speedup" in summary:
         print(
-            f"geomean speedup {payload['summary']['geomean_speedup']:.2f}x "
-            f"(min {payload['summary']['min_speedup']:.2f}x)"
+            f"geomean speedup {summary['geomean_speedup']:.2f}x "
+            f"(min {summary['min_speedup']:.2f}x)"
         )
+    if "geomean_guidance_speedup" in summary:
+        print(
+            f"geomean guidance speedup {summary['geomean_guidance_speedup']:.2f}x "
+            f"(min {summary['min_guidance_speedup']:.2f}x, "
+            f"{summary['geomean_expansion_reduction']:.1f}x fewer expansions)"
+        )
+    if args.phase_table:
+        print(render_phase_table(payload))
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -92,6 +92,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         height=args.height,
         num_layers=args.layers,
         workers=args.workers,
+        guidance=args.guidance,
     )
     with observed_command(args, command="route", netlist=args.netlist) as oc:
         pipe = Pipeline(config, store=MemoryStore())
@@ -179,6 +180,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             num_layers=args.layers,
             router=args.router,
             workers=args.workers,
+            guidance=args.guidance,
             cache_dir=args.cache_dir,
         )
     if design.lower().startswith("test"):
@@ -189,6 +191,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             num_layers=args.layers,
             router=args.router,
             workers=args.workers,
+            guidance=args.guidance,
             cache_dir=args.cache_dir,
         )
     raise ReproError(
@@ -266,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--layers", type=int, default=3, help="routing layers (default 3)")
     _add_output_flags(route)
     _add_workers_flag(route)
+    _add_guidance_flag(route)
     _add_obs_flags(route)
     route.set_defaults(func=_cmd_route)
 
@@ -297,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flag(prun)
     _add_output_flags(prun)
     _add_workers_flag(prun)
+    _add_guidance_flag(prun)
     _add_obs_flags(prun)
     prun.set_defaults(func=_cmd_pipeline_run)
 
@@ -316,7 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     pshow.add_argument(
         "--router", choices=("ours", "gao-pan", "cut16", "du"), default="ours"
     )
-    pshow.set_defaults(workers=1)
+    pshow.set_defaults(workers=1, guidance="auto")
     _add_cache_flag(pshow)
     pshow.set_defaults(func=_cmd_pipeline_show)
 
@@ -366,13 +371,32 @@ def _add_output_flags(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_workers(value: str):
+    """``--workers N`` or ``--workers auto`` (scheduler-predicted)."""
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
 def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         default=1,
-        help="route independent nets in parallel with N workers "
-        "(results are bit-identical to --workers 1)",
+        help="route independent nets in parallel with N workers, or "
+        "'auto' to let the batch scheduler predict whether batching "
+        "pays (results are bit-identical to --workers 1 either way)",
+    )
+
+
+def _add_guidance_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--guidance",
+        choices=("off", "auto", "on"),
+        default="auto",
+        help="future-cost corridor guidance for the A* fast path "
+        "(bit-identical results in every mode; 'auto' builds the map "
+        "only for searches that grow past the trigger)",
     )
 
 

@@ -39,8 +39,17 @@ class OverlayConstraintGraph:
 
     def __init__(self) -> None:
         self._edges: List[ConstraintEdge] = []
+        #: The hard subset of ``_edges`` in insertion order — the rebuild
+        #: below replays exactly these, so keeping them separate turns a
+        #: full-edge-list scan (with an enum-membership test per edge)
+        #: into a direct walk.
+        self._hard_edges: List[ConstraintEdge] = []
         self._incident: Dict[int, List[ConstraintEdge]] = defaultdict(list)
         self._hard_uf = ParityUnionFind()
+        #: True when removals invalidated ``_hard_uf``; the rebuild is
+        #: deferred to the next hard-edge union or parity query so a
+        #: multi-net rip-up pays for one rebuild, not one per net.
+        self._uf_dirty = False
         self._vertices: Set[int] = set()
         # Mutation stamps: every structural change bumps the graph stamp
         # and marks the touched nets with it, so a connected component's
@@ -110,6 +119,8 @@ class OverlayConstraintGraph:
         lines 4-9): update, check, rip-up on violation.
         """
         offenders: List[ConstraintEdge] = []
+        if self._uf_dirty:
+            self._rebuild_hard_uf()
         ob = obs.get_active()
         touched: Set[int] = set()
         for edge in edges:
@@ -125,6 +136,7 @@ class OverlayConstraintGraph:
                     "ocg_edges_added_total", kind=edge.kind.value
                 ).inc()
             if edge.kind.is_hard:
+                self._hard_edges.append(edge)
                 if not self._hard_uf.union(edge.u, edge.v, edge.parity):
                     offenders.append(edge)
                     if ob is not None:
@@ -158,16 +170,20 @@ class OverlayConstraintGraph:
             ]
         self._vertices.discard(net_id)
         self._touch(neighbours)
-        self._rebuild_hard_uf()
+        if any(e.kind.is_hard for e in incident):
+            # Only hard edges live in the union-find; dropping a net with
+            # none leaves it valid as-is.
+            self._hard_edges = [e for e in self._hard_edges if id(e) not in doomed]
+            self._uf_dirty = True
         return len(incident)
 
     def _rebuild_hard_uf(self) -> None:
+        self._uf_dirty = False
         self._uf_retired_finds += self._hard_uf.find_ops
         self._uf_retired_unions += self._hard_uf.union_ops
         self._hard_uf = ParityUnionFind()
-        for edge in self._edges:
-            if edge.kind.is_hard:
-                self._hard_uf.union(edge.u, edge.v, edge.parity)
+        for edge in self._hard_edges:
+            self._hard_uf.union(edge.u, edge.v, edge.parity)
         ob = obs.get_active()
         if ob is not None:
             ob.registry.counter("ocg_uf_rebuilds_total").inc()
@@ -201,6 +217,8 @@ class OverlayConstraintGraph:
 
     def hard_component_of(self, net_id: int):
         """(root, parity) of a net in the hard-edge union-find."""
+        if self._uf_dirty:
+            self._rebuild_hard_uf()
         return self._hard_uf.find(net_id)
 
     def would_violate(self, edges: Iterable[ConstraintEdge]) -> bool:
@@ -210,6 +228,8 @@ class OverlayConstraintGraph:
         overlay on top of the committed union-find by cloning only the
         roots involved — cheap because candidate paths touch few nets.
         """
+        if self._uf_dirty:
+            self._rebuild_hard_uf()
         scratch = ParityUnionFind()
         roots_seen: Dict = {}
         ok = True

@@ -83,6 +83,13 @@ class CutConflictChecker:
         ]
         self._cuts_by_net: Dict[int, List[CriticalCut]] = {}
         self._wires_by_net: Dict[int, List[Tuple[int, Rect]]] = {}
+        #: ``critical_cuts`` is pure in (scenario, colors) and both are
+        #: frozen, so cut synthesis for a re-colored scenario is a memo
+        #: lookup. Values keep a strong reference to the scenario so an
+        #: ``id()`` can never be recycled under a live key.
+        self._cut_memo: Dict[
+            Tuple[int, Color, Color], Tuple[DetectedScenario, List[CriticalCut]]
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Track -> nm lowering
@@ -112,6 +119,10 @@ class CutConflictChecker:
         with the cut mask produce critical cuts; spacer-protected
         assignments produce none.
         """
+        key = (id(scenario), color_a, color_b)
+        hit = self._cut_memo.get(key)
+        if hit is not None and hit[0] is scenario:
+            return hit[1]
         pair = ColorPair.of(color_a, color_b)
         stype = scenario.scenario
         a_nm = self.wire_rect_nm(scenario.rect_a)
@@ -141,10 +152,12 @@ class CutConflictChecker:
         elif stype is ScenarioType.T3D and not pair.same:
             cuts.append(self._corner_cut(a_nm, b_nm))
 
-        return [
+        result = [
             CriticalCut(rect=c, layer=scenario.layer, nets=nets, scenario=stype)
             for c in cuts
         ]
+        self._cut_memo[key] = (scenario, result)
+        return result
 
     def _tip_gap_cut(self, a_nm: Rect, b_nm: Rect) -> Rect:
         """Cut in the gap between two collinear tips, d_overlap into spacers."""
@@ -259,14 +272,35 @@ class CutConflictChecker:
         conflicts: List[CutConflict] = []
         d_cut = self.rules.d_cut
         candidates = list(candidate_cuts)
+        # The candidate-vs-candidate half is quadratic when a caller
+        # (``_unique_conflicts``) passes every registered cut at once.
+        # Bucket large batches in a throwaway GridIndex: ``neighbours``
+        # applies the identical ``max(gap_x, gap_y) < d_cut`` predicate,
+        # and the position filter + sort replays the original pair order,
+        # so the conflict list is unchanged element for element.
+        local: Optional[Dict[int, GridIndex[int]]] = None
+        if len(candidates) > 8:
+            local = {}
+            for j, cand in enumerate(candidates):
+                if cand.layer not in local:
+                    local[cand.layer] = GridIndex()
+                local[cand.layer].insert(cand.rect, j)
         for i, cut in enumerate(candidates):
             index = self._cut_index[cut.layer]
             others = [c for _, c in index.neighbours(cut.rect, d_cut)]
-            others.extend(
-                c for c in candidates[i + 1 :]
-                if c.layer == cut.layer
-                and max(c.rect.gap_x(cut.rect), c.rect.gap_y(cut.rect)) < d_cut
-            )
+            if local is None:
+                others.extend(
+                    c for c in candidates[i + 1 :]
+                    if c.layer == cut.layer
+                    and max(c.rect.gap_x(cut.rect), c.rect.gap_y(cut.rect)) < d_cut
+                )
+            else:
+                tail = sorted(
+                    j
+                    for _, j in local[cut.layer].neighbours(cut.rect, d_cut)
+                    if j > i
+                )
+                others.extend(candidates[j] for j in tail)
             for other in others:
                 conflict = self._pair_conflict(cut, other)
                 if conflict is not None:

@@ -47,21 +47,27 @@ class ParityUnionFind:
     def find(self, x: Hashable) -> Tuple[Hashable, int]:
         """(root, parity of x relative to root), with path compression."""
         self.find_ops += 1
-        self.add(x)
+        parent = self._parent
+        if x not in parent:
+            parent[x] = x
+            self._rank[x] = 0
+            self._parity[x] = 0
+            return x, 0
+        par = self._parity
         root = x
         parity = 0
-        while self._parent[root] != root:
-            parity ^= self._parity[root]
-            root = self._parent[root]
+        while parent[root] != root:
+            parity ^= par[root]
+            root = parent[root]
         # Second pass: compress and fix parities.
         node = x
         carried = parity
-        while self._parent[node] != node:
-            parent = self._parent[node]
-            next_carried = carried ^ self._parity[node]
-            self._parent[node] = root
-            self._parity[node] = carried
-            node = parent
+        while parent[node] != node:
+            nxt = parent[node]
+            next_carried = carried ^ par[node]
+            parent[node] = root
+            par[node] = carried
+            node = nxt
             carried = next_carried
         return root, parity
 

@@ -62,16 +62,28 @@ class GridIndex(Generic[T]):
 
     def query(self, region: Rect) -> List[Tuple[Rect, T]]:
         """All (rect, item) pairs whose rect overlaps ``region`` (deduplicated)."""
+        b = self._bucket
+        bx_lo, bx_hi = region.xlo // b, (region.xhi - 1) // b
+        by_lo, by_hi = region.ylo // b, (region.yhi - 1) // b
+        if bx_lo == bx_hi and by_lo == by_hi:
+            # Single-bucket region (the common case for cut/wire-sized
+            # queries): every entry appears at most once, skip the
+            # dedup-set bookkeeping.
+            bucket = self._cells.get((bx_lo, by_lo))
+            if not bucket:
+                return []
+            return [(rect, item) for rect, item in bucket if rect.overlaps(region)]
         seen: Set[Tuple[Rect, int]] = set()
         out: List[Tuple[Rect, T]] = []
-        for key in self._keys(region):
-            for rect, item in self._cells.get(key, ()):
-                if rect.overlaps(region):
-                    ident = (rect, id(item))
-                    if ident in seen:
-                        continue
-                    seen.add(ident)
-                    out.append((rect, item))
+        for bx in range(bx_lo, bx_hi + 1):
+            for by in range(by_lo, by_hi + 1):
+                for rect, item in self._cells.get((bx, by), ()):
+                    if rect.overlaps(region):
+                        ident = (rect, id(item))
+                        if ident in seen:
+                            continue
+                        seen.add(ident)
+                        out.append((rect, item))
         return out
 
     def neighbours(self, rect: Rect, distance: int) -> List[Tuple[Rect, T]]:

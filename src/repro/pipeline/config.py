@@ -31,10 +31,12 @@ class PipelineConfig:
     benchmark name, ``Test1``..``Test10``, instantiated at ``scale`` with
     ``seed``).
 
-    ``workers`` deliberately does **not** enter any stage hash: parallel
-    batch routing is bit-identical to sequential routing (see
-    ``repro.router.parallel``), so the same design routed with different
-    worker counts shares one routing artifact.
+    ``workers`` and ``guidance`` deliberately do **not** enter any stage
+    hash: parallel batch routing is bit-identical to sequential routing
+    (see ``repro.router.parallel``) and guided search is bit-identical
+    to unguided search (see ``repro.router.guidance``), so the same
+    design routed with different worker counts or guidance modes shares
+    one routing artifact.
     """
 
     # --- design source ------------------------------------------------- #
@@ -50,7 +52,8 @@ class PipelineConfig:
 
     # --- routing ------------------------------------------------------- #
     router: str = "ours"
-    workers: int = 1
+    workers: Any = 1
+    guidance: str = "auto"
     order: str = "hpwl"
     alpha: float = 1.0
     beta: float = 1.0
@@ -89,6 +92,10 @@ class PipelineConfig:
         if self.bitmap_resolution <= 0:
             raise PipelineError(
                 f"bitmap_resolution must be positive, got {self.bitmap_resolution}"
+            )
+        if self.guidance not in ("off", "auto", "on"):
+            raise PipelineError(
+                f"guidance must be 'off', 'auto' or 'on', got {self.guidance!r}"
             )
 
     def cost_params(self) -> CostParams:

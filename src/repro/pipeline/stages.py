@@ -189,6 +189,7 @@ class RouteStage(Stage):
                 "params": config.cost_params(),
                 "order": config.order,
                 "workers": config.workers,
+                "guidance": config.guidance,
             }
             kwargs.update(options)
             router = SadpRouter(grid, netlist, **kwargs)

@@ -16,6 +16,7 @@ from .astar import (
     SubproblemResult,
     solve_subproblem,
 )
+from .guidance import future_cost_map, prune_threshold
 from .overlay_cache import OverlayCostCache, overlay_cost_grid, probe_cell
 from .parallel import BatchScheduler, ParallelRouter, ParallelStats
 from .result import NetRoute, RoutingResult
@@ -31,6 +32,8 @@ __all__ = [
     "SearchSubproblem",
     "SubproblemResult",
     "solve_subproblem",
+    "future_cost_map",
+    "prune_threshold",
     "OverlayCostCache",
     "overlay_cost_grid",
     "probe_cell",

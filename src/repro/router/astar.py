@@ -26,6 +26,12 @@ two implementations that are *exactly* path- and cost-equivalent:
   node sequences and costs — and is selected automatically whenever the
   generic per-cell callbacks (``overlay_cost`` / ``penalty``) are in use,
   or explicitly via ``use_reference=True``.
+
+The fast path optionally prunes its open list against an exact
+future-cost map (:mod:`repro.router.guidance`, the ``guidance`` knob):
+off-corridor heap entries are discarded without changing the surviving
+search, so results stay bit-identical to the unguided fast path while
+large searches expand a fraction of the window.
 """
 
 from __future__ import annotations
@@ -35,11 +41,19 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import obs
 from ..errors import RoutingError
 from ..geometry import Point, Segment, points_to_segments
 from ..grid import CellState, Direction, RoutingGrid, Via
 from .cost import CostParams
+from .guidance import (
+    AUTO_TRIGGER_EXPANSIONS,
+    GUIDANCE_MIN_CELLS,
+    future_cost_map,
+    prune_threshold,
+)
 from .overlay_cache import OverlayCostCache, overlay_cost_grid
 
 #: A search-space node: (layer, x, y).
@@ -132,6 +146,7 @@ class AStarRouter:
         overlay_terms: Optional[Tuple[float, float]] = None,
         overlay_cache: Optional[OverlayCostCache] = None,
         use_reference: bool = False,
+        guidance: str = "off",
     ) -> None:
         self.grid = grid
         self.params = params
@@ -142,6 +157,18 @@ class AStarRouter:
         self._overlay_cache = overlay_cache
         #: Force the dict-based reference implementation.
         self.use_reference = use_reference
+        #: Future-cost corridor pruning: ``"off"``, ``"on"`` (map built
+        #: up front for every fast search), or ``"auto"`` (a search is
+        #: upgraded in place once it crosses ``guidance_trigger``
+        #: unguided expansions — small searches never pay for a map).
+        #: The reference path ignores this and stays the oracle.
+        self.guidance = guidance
+        self.guidance_trigger = AUTO_TRIGGER_EXPANSIONS
+        #: ``"auto"`` never builds a map for windows below this many
+        #: cells — the unguided flood over such a window is cheaper than
+        #: the build. ``"on"`` ignores it (explicit opt-in).
+        self.guidance_min_cells = GUIDANCE_MIN_CELLS
+        self.guidance_backend = "auto"
         #: Net whose own cells are exempt from the inlined overlay probe.
         self.active_net = -1
         #: Outcome of the most recent search (see class docstring).
@@ -150,6 +177,10 @@ class AStarRouter:
         #: the perf bench can report expansions/sec with observability off.
         self.total_searches = 0
         self.total_expansions = 0
+        #: Searches that activated a guidance map / maps actually built
+        #: (memo hits count as guided but not as builds).
+        self.total_guided_searches = 0
+        self.total_guidance_builds = 0
         self._last_stats = (0, 0, 0)
         # Layer directions are immutable for a grid's lifetime — hoisted
         # out of the per-search setup.
@@ -263,6 +294,7 @@ class AStarRouter:
                 )
             cost = cost_np.ravel().tolist()
         else:
+            cost_np = None
             cost = [0.0] * n
 
         # Fold the sparse rip-up penalties in once, so the inner loop is
@@ -328,6 +360,98 @@ class AStarRouter:
         if not open_heap:
             return None
 
+        # --- Future-cost corridor guidance (repro.router.guidance) ---- #
+        # ``gd`` is the flat exact cost-to-go map, ``thr`` the corridor
+        # bound T + eps with T = min_src(cost[src] + d(src)) = C*. An
+        # entry with g + d > thr can never lie on the path A* returns,
+        # and (d being consistent) everything it could ever relax is
+        # itself prunable — dropping such entries leaves the surviving
+        # search bit-identical, paths and costs included. thr = -inf
+        # encodes "no target reachable from any source": every entry
+        # prunes and the search fails immediately with the same
+        # ``"failed"`` outcome the exhausted unguided search reaches.
+        gmode = self.guidance
+        gd = None
+        thr = inf
+        if gmode == "on":
+            trigger = 0
+        elif gmode == "auto":
+            # Upgrade mid-search once the expansion count proves the
+            # search is not trivially small; nothing before the trigger
+            # differs from an unguided run, so the switch is seamless.
+            # Windows too small to amortize a map build never upgrade —
+            # even a fully flooded small window costs less than the solve.
+            if num_layers * wx * wy < self.guidance_min_cells:
+                trigger = -1
+            else:
+                trigger = self.guidance_trigger
+        else:
+            trigger = -1
+
+        def activate_guidance():
+            passable_np = (occ_win == _FREE) | (occ_win == net_id)
+            tmask = (
+                np.frombuffer(bytes(is_target), dtype=np.uint8)
+                .reshape(num_layers, wx, wy)
+                .astype(bool)
+            )
+            bounds = (xlo, xhi, ylo, yhi)
+            cache = self._overlay_cache
+            memo = cache is not None and hasattr(cache, "guidance_lookup")
+            dflat = None
+            key = None
+            if memo:
+                pen_sig = tuple(sorted(pen_map.items())) if pen_map else None
+                key = (bounds, bytes(is_target), pen_sig, self.guidance_backend)
+                dflat = cache.guidance_lookup(net_id, key)
+            if dflat is None:
+                # Fold the same per-cell extras the search pays (overlay
+                # grid + rip-up penalties) with identical float ops, so
+                # the map is exact for the costs the heap accumulates.
+                if cost_np is not None:
+                    carr = np.array(cost_np, dtype=np.float64)
+                else:
+                    carr = np.zeros((num_layers, wx, wy), dtype=np.float64)
+                if pen_map:
+                    for (pl, px, py), amount in pen_map.items():
+                        if pl < num_layers and xlo <= px <= xhi and ylo <= py <= yhi:
+                            carr[pl, px - xlo, py - ylo] += amount
+                dmap = future_cost_map(
+                    passable_np,
+                    carr,
+                    horizontal,
+                    alpha,
+                    beta,
+                    params.wrong_way_factor,
+                    tmask,
+                    backend=self.guidance_backend,
+                )
+                if dmap is None:
+                    return None, inf  # degenerate window: stay unguided
+                self.total_guidance_builds += 1
+                # Flatten to a Python list: the prune checks do one
+                # scalar read per relaxation, and list indexing is ~3x
+                # cheaper than numpy scalar indexing from the loop.
+                dflat = dmap.ravel().tolist()
+                if memo:
+                    cache.guidance_store(net_id, bounds, key, dflat)
+            t = inf
+            for slayer, spt in request.sources:
+                if not grid.in_bounds(slayer, spt):
+                    continue
+                if occ[slayer, spt.x, spt.y] not in (_FREE, net_id):
+                    continue
+                sidx = slayer * layer_stride + (spt.x - xlo) * wy + (spt.y - ylo)
+                v = cost[sidx] + dflat[sidx]
+                if v < t:
+                    t = v
+            self.total_guided_searches += 1
+            return dflat, (prune_threshold(t) if t < inf else -inf)
+
+        if trigger == 0:
+            gd, thr = activate_guidance()
+            trigger = -1
+
         expansions = 0
         pops = 0
         goal = -1
@@ -342,11 +466,17 @@ class AStarRouter:
             if is_target[idx]:
                 goal = idx
                 break
+            if gd is not None and g + gd[idx] > thr:
+                # Off-corridor: cannot be on the returned path, and
+                # everything it would relax is off-corridor too.
+                continue
             expansions += 1
             if expansions > max_expansions:
                 self._last_stats = (expansions, next(counter), pops)
                 self.last_outcome = "budget_exhausted"
                 return None
+            if expansions == trigger:
+                gd, thr = activate_guidance()
 
             layer = idx // layer_stride
             rem = idx - layer * layer_stride
@@ -373,6 +503,8 @@ class AStarRouter:
                     continue
                 ng = g + step_cost + cost[nidx]
                 if ng < best_g[nidx]:
+                    if gd is not None and ng + gd[nidx] > thr:
+                        continue
                     best_g[nidx] = ng
                     parent[nidx] = idx
                     nx = xlo + nlx
@@ -402,6 +534,8 @@ class AStarRouter:
                     continue
                 ng = g + beta + cost[nidx]
                 if ng < best_g[nidx]:
+                    if gd is not None and ng + gd[nidx] > thr:
+                        continue
                     best_g[nidx] = ng
                     parent[nidx] = idx
                     push(
@@ -803,6 +937,12 @@ class SearchSubproblem:
     use_reference: bool = False
     overlay_grid: Optional["object"] = None
     overlay_bounds: Optional[Bounds] = None
+    #: Mirrors :attr:`AStarRouter.guidance` so workers prune the same
+    #: corridors the live engine would (results are bit-identical with
+    #: guidance on or off either way; this only matches the *speed*).
+    guidance: str = "off"
+    guidance_trigger: int = AUTO_TRIGGER_EXPANSIONS
+    guidance_min_cells: int = GUIDANCE_MIN_CELLS
 
 
 @dataclass
@@ -826,6 +966,8 @@ class SubproblemResult:
     found_expansions: int = 0
     engine_searches: int = 0
     engine_expansions: int = 0
+    engine_guided_searches: int = 0
+    engine_guidance_builds: int = 0
 
     def to_precomputed(self) -> PrecomputedAttempt:
         if self.outcome != "found":
@@ -944,7 +1086,10 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
         overlay_terms=sub.overlay_terms,
         overlay_cache=overlay_cache,
         use_reference=sub.use_reference,
+        guidance=sub.guidance,
     )
+    engine.guidance_trigger = sub.guidance_trigger
+    engine.guidance_min_cells = sub.guidance_min_cells
     engine.active_net = sub.net_id
 
     def guarded_search(request: SearchRequest) -> Optional[SearchResult]:
@@ -994,6 +1139,8 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
             outcome="window_exceeded",
             engine_searches=engine.total_searches,
             engine_expansions=engine.total_expansions,
+            engine_guided_searches=engine.total_guided_searches,
+            engine_guidance_builds=engine.total_guidance_builds,
         )
     if found is None:
         return SubproblemResult(
@@ -1001,6 +1148,8 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
             outcome=engine.last_outcome,
             engine_searches=engine.total_searches,
             engine_expansions=engine.total_expansions,
+            engine_guided_searches=engine.total_guided_searches,
+            engine_guidance_builds=engine.total_guidance_builds,
         )
     shift = Point(ox, oy)
     return SubproblemResult(
@@ -1016,4 +1165,6 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
         found_expansions=found.expansions,
         engine_searches=engine.total_searches,
         engine_expansions=engine.total_expansions,
+        engine_guided_searches=engine.total_guided_searches,
+        engine_guidance_builds=engine.total_guidance_builds,
     )

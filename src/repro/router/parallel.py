@@ -47,6 +47,12 @@ from .cost import CostParams
 #: Overlay probes read occupancy up to 2 tracks away (Eq. 5's type 2-b).
 OVERLAY_PAD = 2
 
+#: ``workers="auto"``: minimum predicted batched-net fraction below which
+#: the run stays serial — with most nets routing sequentially anyway, the
+#: batching overhead (snapshots, pickling, pool startup) loses to the
+#: plain flow (Test1 measures 0.96x at fraction ~0.4).
+AUTO_MIN_BATCHED_FRACTION = 0.5
+
 
 def interaction_halo(rules) -> int:
     """Tracks beyond a net's search windows where another net can matter.
@@ -116,6 +122,33 @@ class BatchScheduler:
                 if len(picked) >= self.max_batch:
                     break
         return picked
+
+
+def predict_batched_fraction(
+    scheduler: BatchScheduler, ordered: Sequence[Net]
+) -> float:
+    """Fraction of nets the scheduler would place into >=2-net batches.
+
+    A dry run of the exact pick/consume loop of :meth:`ParallelRouter.route`
+    (without routing anything): windows only depend on pin candidates, so
+    the prediction costs a few window computations per net. It ignores
+    staleness fallbacks — those nets still ran in a batch — so it predicts
+    scheduling density, the term that decides whether batching can pay.
+    """
+    if not ordered:
+        return 0.0
+    queue: Deque[Net] = deque(ordered)
+    batched = 0
+    while queue:
+        picked = scheduler.pick(queue)
+        if len(picked) < 2:
+            queue.popleft()
+            continue
+        batched += len(picked)
+        ids = {net.net_id for net, _ in picked}
+        while ids:
+            ids.discard(queue.popleft().net_id)
+    return batched / len(ordered)
 
 
 class _DirtyTracker:
@@ -191,13 +224,17 @@ class ParallelStats:
     hits: int = 0
     fallbacks: int = 0
     fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    #: ``workers="auto"`` outcome: "" (explicit workers), "serial" or
+    #: "parallel", plus the scheduler's predicted batched-net fraction.
+    auto_decision: str = ""
+    predicted_batched_fraction: float = -1.0
 
     @property
     def mean_batch_size(self) -> float:
         return self.batched_nets / self.batches if self.batches else 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "workers": self.workers,
             "executor": self.executor,
             "batches": self.batches,
@@ -208,6 +245,12 @@ class ParallelStats:
             "fallbacks": self.fallbacks,
             "fallback_reasons": dict(self.fallback_reasons),
         }
+        if self.auto_decision:
+            payload["auto_decision"] = self.auto_decision
+            payload["predicted_batched_fraction"] = round(
+                self.predicted_batched_fraction, 3
+            )
+        return payload
 
 
 class ParallelRouter:
@@ -335,6 +378,9 @@ class ParallelRouter:
             use_reference=bool(engine.use_reference),
             overlay_grid=overlay_grid,
             overlay_bounds=overlay_bounds,
+            guidance=engine.guidance,
+            guidance_trigger=engine.guidance_trigger,
+            guidance_min_cells=engine.guidance_min_cells,
         )
 
     def _accept(self, net: Net, res: SubproblemResult, result) -> None:
@@ -345,6 +391,8 @@ class ParallelRouter:
         # fold its counters in so totals match a sequential run exactly.
         router.engine.total_searches += res.engine_searches
         router.engine.total_expansions += res.engine_expansions
+        router.engine.total_guided_searches += res.engine_guided_searches
+        router.engine.total_guidance_builds += res.engine_guidance_builds
         result.routes[net.net_id] = router.route_net(
             net, precomputed=res.to_precomputed()
         )

@@ -61,8 +61,9 @@ class SadpRouter:
         enable_t2b_penalty: bool = True,
         enable_merge: bool = True,
         order: str = "hpwl",
-        workers: int = 1,
+        workers=1,
         executor: str = "process",
+        guidance: str = "auto",
     ) -> None:
         self.grid = grid
         self.netlist = netlist
@@ -75,8 +76,16 @@ class SadpRouter:
         #: attempt-0 searches (1 = the plain sequential flow) and the
         #: executor kind ("process" | "thread" | "serial"). Bit-identical
         #: to sequential for every value — see repro.router.parallel.
-        self.workers = max(1, int(workers))
+        #: ``workers="auto"`` predicts the batched-net fraction from the
+        #: scheduler before routing and picks serial or parallel per run.
+        self.workers = workers if workers == "auto" else max(1, int(workers))
         self.executor = executor
+        #: Future-cost corridor guidance for the A* fast path
+        #: ("off" | "auto" | "on") — bit-identical results for every
+        #: value; see repro.router.guidance.
+        if guidance not in ("off", "auto", "on"):
+            raise ValueError(f"unknown guidance mode: {guidance!r}")
+        self.guidance = guidance
         #: ParallelStats of the last route_all (None for sequential runs).
         self.parallel_stats = None
         #: Ablation knob for contribution 1: with the merge technique
@@ -117,6 +126,7 @@ class SadpRouter:
                 (params.gamma, params.delta_tip) if enable_t2b_penalty else None
             ),
             overlay_cache=self.overlay_cache,
+            guidance=guidance,
         )
         self._reserve_pins()
 
@@ -197,15 +207,28 @@ class SadpRouter:
     def _route_all(self) -> RoutingResult:
         result = RoutingResult()
         ordered = list(self.netlist.ordered_for_routing(self.order))
-        if self.workers > 1 and len(ordered) > 1:
+        workers, auto_choice = self._resolve_workers(ordered)
+        if workers > 1 and len(ordered) > 1:
             from .parallel import ParallelRouter
 
             runner = ParallelRouter(
-                self, workers=self.workers, executor=self.executor
+                self, workers=workers, executor=self.executor
             )
+            if auto_choice is not None:
+                runner.stats.auto_decision = auto_choice[0]
+                runner.stats.predicted_batched_fraction = auto_choice[1]
             runner.route(ordered, result)
             self.parallel_stats = runner.stats
         else:
+            if auto_choice is not None:
+                from .parallel import ParallelStats
+
+                self.parallel_stats = ParallelStats(
+                    workers=1,
+                    executor="serial",
+                    auto_decision=auto_choice[0],
+                    predicted_batched_fraction=auto_choice[1],
+                )
             for net in ordered:
                 result.routes[net.net_id] = self.route_net(net)
         result.routes.update(self._evicted_routes)
@@ -252,6 +275,42 @@ class SadpRouter:
         result.total_ripups = sum(r.ripups for r in result.routes.values())
         result.color_flips = self._flip_count
         return result
+
+    def _resolve_workers(self, ordered: Sequence[Net]):
+        """Concrete worker count for this run, plus the auto decision.
+
+        ``workers="auto"`` dry-runs the batch scheduler over the ordered
+        queue: when too few nets would actually land in parallel batches
+        (small or congested workloads, where batching overhead loses to
+        the sequential flow), the run falls back to serial. Returns
+        ``(workers, None)`` for explicit settings and
+        ``(workers, (decision, predicted_fraction))`` for auto.
+        """
+        if self.workers != "auto":
+            return self.workers, None
+        import os
+
+        from .parallel import (
+            AUTO_MIN_BATCHED_FRACTION,
+            BatchScheduler,
+            predict_batched_fraction,
+        )
+
+        workers = min(4, os.cpu_count() or 1)
+        if workers < 2 or len(ordered) < 2:
+            return 1, ("serial", 0.0)
+        scheduler = BatchScheduler(
+            self.params,
+            self.grid.rules,
+            self.grid.width,
+            self.grid.height,
+            max_batch=max(2 * workers, 2),
+            lookahead=max(8 * workers, 16),
+        )
+        fraction = predict_batched_fraction(scheduler, ordered)
+        if fraction < AUTO_MIN_BATCHED_FRACTION:
+            return 1, ("serial", fraction)
+        return workers, ("parallel", fraction)
 
     def route_net(
         self,

@@ -7,7 +7,9 @@ import pytest
 from repro import obs
 from repro.bench.perf import (
     check_against_baseline,
+    check_guidance_equivalence,
     check_parallel_equivalence,
+    render_phase_table,
     run_perf,
 )
 from repro.bench.runner import BenchRow, append_rows_json, rows_to_json
@@ -41,10 +43,11 @@ class TestPerfRun:
         assert payload["schema"] == "repro-bench-perf/1"
         (wl,) = payload["workloads"]
         assert wl["circuit"] == "Test1"
-        for mode in ("fast", "reference"):
+        for mode in ("fast", "reference", "guided"):
             assert wl[mode]["route_all_s"] > 0
             assert wl[mode]["expansions"] > 0
             assert wl[mode]["expansions_per_s"] > 0
+            assert wl[mode]["expansions_per_search"] > 0
         assert "speedup" in wl and wl["speedup"] > 0
         assert "walltime_reduction_pct" in wl
         assert "summary" in payload
@@ -56,6 +59,24 @@ class TestPerfRun:
         assert wl["fast"]["overlay_units"] == wl["reference"]["overlay_units"]
         assert wl["fast"]["expansions"] == wl["reference"]["expansions"]
 
+    def test_guidance_ab_fields(self, payload):
+        (wl,) = payload["workloads"]
+        assert "guidance_speedup" in wl
+        assert wl["expansion_reduction"] >= 1.0
+        # guided counters appear once the auto trigger actually trips;
+        # at smoke scale most searches finish under the trigger, so the
+        # counters may legitimately be absent (= zero)
+        assert wl["guided"].get("guided_searches", 0) >= 0
+        # pruning is invisible to the result, cheaper on expansions
+        assert wl["guided"]["routability_pct"] == wl["fast"]["routability_pct"]
+        assert wl["guided"]["overlay_units"] == wl["fast"]["overlay_units"]
+        assert wl["guided"]["searches"] == wl["fast"]["searches"]
+        assert wl["guided"]["expansions"] <= wl["fast"]["expansions"]
+        summary = payload["summary"]
+        assert "geomean_guidance_speedup" in summary
+        assert summary["geomean_expansion_reduction"] >= 1.0
+        assert check_guidance_equivalence(payload) == []
+
     def test_self_check_passes(self, payload):
         assert check_against_baseline(payload, payload, tolerance=0.30) == []
 
@@ -66,24 +87,45 @@ class TestPerfRun:
 
 
 class TestPhaseSplit:
-    def test_phase_split_is_exhaustive(self):
+    def test_each_sample_carries_its_own_split(self):
         payload = run_perf(
             workloads=["Test1"],
             scales={"Test1": 0.06},
             rounds=1,
-            include_reference=False,
+            include_reference=True,
             include_phases=True,
             verbose=False,
         )
         (wl,) = payload["workloads"]
-        phases = wl["phases_s"]
-        # The commit bucket closes the old accounting gap: every phase is
-        # a disjoint slice of the instrumented run, so the split never
-        # sums past the run's route_all wall time.
-        assert set(phases) == {"search", "graph", "flip", "commit"}
-        assert wl["phases_route_all_s"] > 0
-        assert sum(phases.values()) <= wl["phases_route_all_s"]
-        assert phases["commit"] > 0
+        # phases used to be emitted once per workload (misattributing
+        # the fast run's profile to every variant); now each sample
+        # carries the split of its own instrumented run.
+        assert "phases_s" not in wl
+        for variant in ("fast", "reference", "guided"):
+            phases = wl[variant]["phases_s"]
+            # The commit bucket closes the old accounting gap: every
+            # phase is a disjoint slice of the instrumented run, so the
+            # split never sums past the run's route_all wall time.
+            assert set(phases) == {"search", "graph", "flip", "commit"}
+            assert wl[variant]["phases_route_all_s"] > 0
+            assert sum(phases.values()) <= wl[variant]["phases_route_all_s"]
+            assert phases["commit"] > 0
+        table = render_phase_table(payload)
+        lines = table.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + one row per variant
+        for variant in ("fast", "reference", "guided"):
+            assert any(variant in line for line in lines[2:])
+
+    def test_render_phase_table_skips_unsplit_samples(self):
+        payload = {
+            "workloads": [
+                {
+                    "circuit": "Test1",
+                    "fast": {"route_all_s": 1.0},  # no phases_s
+                }
+            ]
+        }
+        assert len(render_phase_table(payload).splitlines()) == 2
 
 
 class TestParallelBench:
@@ -108,6 +150,25 @@ class TestParallelBench:
             assert key in stats
         assert check_parallel_equivalence(payload) == []
 
+    def test_workers_auto_records_decision(self):
+        payload = run_perf(
+            workloads=["Test1"],
+            scales={"Test1": 0.06},
+            rounds=1,
+            include_reference=False,
+            include_guidance=False,
+            include_phases=False,
+            workers="auto",
+            executor="thread",
+            verbose=False,
+        )
+        assert payload["config"]["workers"] == "auto"
+        (wl,) = payload["workloads"]
+        stats = wl["parallel_stats"]
+        assert stats["auto_decision"] in ("serial", "parallel")
+        assert 0.0 <= stats["predicted_batched_fraction"] <= 1.0
+        assert check_parallel_equivalence(payload) == []
+
     def test_equivalence_gate_catches_mismatch(self):
         payload = {
             "workloads": [
@@ -120,6 +181,35 @@ class TestParallelBench:
         }
         problems = check_parallel_equivalence(payload)
         assert len(problems) == 2
+
+
+class TestGuidanceGate:
+    def test_gate_catches_metric_and_expansion_mismatch(self):
+        payload = {
+            "workloads": [
+                {
+                    "circuit": "Test1",
+                    "fast": {
+                        "routability_pct": 100.0,
+                        "overlay_units": 4.0,
+                        "searches": 50,
+                        "expansions": 1000,
+                    },
+                    "guided": {
+                        "routability_pct": 99.0,
+                        "overlay_units": 4.0,
+                        "searches": 50,
+                        "expansions": 1200,
+                    },
+                }
+            ]
+        }
+        problems = check_guidance_equivalence(payload)
+        assert len(problems) == 2  # routability mismatch + more expansions
+
+    def test_gate_passes_without_guided_sample(self):
+        payload = {"workloads": [{"circuit": "Test1", "fast": {}}]}
+        assert check_guidance_equivalence(payload) == []
 
 
 class TestRegressionGate:

@@ -1,0 +1,290 @@
+"""Guided vs unguided search equivalence, and the guidance plumbing.
+
+Corridor pruning must be *invisible* to the search result: with
+``guidance="on"`` (or ``"auto"``) the fast path returns the bit-identical
+paths, costs, and committed metrics as ``guidance="off"`` while expanding
+no more nodes. These tests pin that contract at the engine level (random
+occupancy, penalties, overlay terms, multi-pin requests) and end-to-end
+through ``SadpRouter.route_all`` on seeded Test1/Test6 instances, plus
+the memoization and invalidation behaviour of the guidance cache.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.workloads import generate_benchmark, spec_by_name
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.router import AStarRouter, CostParams, SadpRouter, SearchRequest
+from repro.router.guidance import HAVE_SCIPY
+from repro.router.overlay_cache import OverlayCostCache
+
+
+def _random_occupancy(grid, rng, fill):
+    for layer in range(grid.num_layers):
+        for x in range(grid.width):
+            for y in range(grid.height):
+                if rng.random() < fill:
+                    grid.occupy(layer, Point(x, y), rng.randrange(1, 20))
+
+
+def _assert_same_found(guided, plain):
+    if plain is None:
+        assert guided is None
+        return
+    assert guided is not None
+    assert guided.nodes == plain.nodes
+    assert guided.cost == plain.cost  # bit-exact, not approx
+    assert guided.segments == plain.segments
+    assert guided.vias == plain.vias
+    assert guided.expansions <= plain.expansions
+
+
+BACKENDS = (["csgraph"] if HAVE_SCIPY else []) + ["sweep"]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mode", ["on", "auto"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_occupancy_with_overlay_and_penalties(
+        self, seed, mode, backend
+    ):
+        rng = random.Random(seed)
+        grid = RoutingGrid(26, 26)
+        _random_occupancy(grid, rng, fill=0.12)
+        penalties = {
+            (rng.randrange(3), rng.randrange(26), rng.randrange(26)): rng.uniform(1, 9)
+            for _ in range(30)
+        }
+        params = CostParams()
+        kwargs = dict(
+            penalty_map=penalties,
+            overlay_terms=(params.gamma, params.delta_tip),
+        )
+        plain = AStarRouter(grid, params, guidance="off", **kwargs)
+        guided = AStarRouter(grid, params, guidance=mode, **kwargs)
+        guided.guidance_backend = backend
+        guided.guidance_trigger = 16  # make "auto" actually trip
+        guided.guidance_min_cells = 0  # windows here are under the size gate
+        for net_id in (100, 101):
+            plain.active_net = guided.active_net = net_id
+            for _ in range(6):
+                src = Point(rng.randrange(26), rng.randrange(26))
+                dst = Point(rng.randrange(26), rng.randrange(26))
+                req = SearchRequest(
+                    net_id=net_id, sources=[(0, src)], targets=[(0, dst)]
+                )
+                _assert_same_found(
+                    guided.search(req, extra_margin=4),
+                    plain.search(req, extra_margin=4),
+                )
+        assert guided.total_guided_searches > 0
+        assert plain.total_guided_searches == 0
+        assert guided.total_expansions <= plain.total_expansions
+
+    def test_multi_candidate_pins(self):
+        rng = random.Random(7)
+        grid = RoutingGrid(24, 24)
+        _random_occupancy(grid, rng, fill=0.08)
+        params = CostParams()
+        plain = AStarRouter(
+            grid, params, overlay_terms=(params.gamma, params.delta_tip)
+        )
+        guided = AStarRouter(
+            grid,
+            params,
+            overlay_terms=(params.gamma, params.delta_tip),
+            guidance="on",
+        )
+        plain.active_net = guided.active_net = 50
+        for _ in range(5):
+            sources = [
+                (0, Point(rng.randrange(24), rng.randrange(24)))
+                for _ in range(3)
+            ]
+            targets = [
+                (0, Point(rng.randrange(24), rng.randrange(24)))
+                for _ in range(3)
+            ]
+            req = SearchRequest(net_id=50, sources=sources, targets=targets)
+            _assert_same_found(
+                guided.search(req, extra_margin=3),
+                plain.search(req, extra_margin=3),
+            )
+
+    def test_wrong_way_jogs(self):
+        grid = RoutingGrid(20, 20)
+        params = CostParams(wrong_way_factor=2.0)
+        plain = AStarRouter(grid, params)
+        guided = AStarRouter(grid, params, guidance="on")
+        req = SearchRequest(
+            net_id=0, sources=[(0, Point(2, 2))], targets=[(0, Point(12, 9))]
+        )
+        _assert_same_found(guided.search(req), plain.search(req))
+
+    def test_unreachable_target_fails_fast(self):
+        """With no route to the target the map is all-inf, the corridor
+        bound collapses, and the guided search drains its heap instead of
+        flooding the window."""
+        grid = RoutingGrid(30, 30)
+        for y in range(30):  # wall across every layer
+            for layer in range(grid.num_layers):
+                grid.occupy(layer, Point(15, y), 999)
+        plain = AStarRouter(grid, CostParams())
+        guided = AStarRouter(grid, CostParams(), guidance="on")
+        req = SearchRequest(
+            net_id=0, sources=[(0, Point(2, 15))], targets=[(0, Point(28, 15))]
+        )
+        assert plain.search(req) is None
+        assert guided.search(req) is None
+        assert guided.last_outcome == plain.last_outcome == "failed"
+        assert guided.total_expansions < plain.total_expansions
+
+    def test_off_mode_never_builds(self):
+        grid = RoutingGrid(16, 16)
+        engine = AStarRouter(grid, CostParams(), guidance="off")
+        req = SearchRequest(
+            net_id=0, sources=[(0, Point(1, 1))], targets=[(0, Point(14, 14))]
+        )
+        assert engine.search(req) is not None
+        assert engine.total_guidance_builds == 0
+        assert engine.total_guided_searches == 0
+
+    def test_auto_size_gate_skips_tiny_windows(self):
+        """In auto mode, windows under ``guidance_min_cells`` never pay for
+        a map build — the search can't amortise it.  Explicit ``on`` is an
+        opt-in that bypasses the gate."""
+        req = SearchRequest(
+            net_id=0, sources=[(0, Point(1, 1))], targets=[(0, Point(14, 14))]
+        )
+        grid = RoutingGrid(16, 16)
+        auto = AStarRouter(grid, CostParams(), guidance="auto")
+        auto.guidance_trigger = 0  # would trip immediately without the gate
+        assert auto.search(req) is not None
+        assert auto.total_guidance_builds == 0
+        assert auto.total_guided_searches == 0
+
+        grid = RoutingGrid(16, 16)
+        forced = AStarRouter(grid, CostParams(), guidance="on")
+        assert forced.search(req) is not None
+        assert forced.total_guided_searches > 0
+
+
+class TestGuidanceMemo:
+    def test_repeat_search_hits_the_memo(self):
+        grid = RoutingGrid(20, 20)
+        params = CostParams()
+        cache = OverlayCostCache(grid, params.gamma, params.delta_tip)
+        engine = AStarRouter(
+            grid, params, overlay_cache=cache, guidance="on"
+        )
+        engine.active_net = 5
+        req = SearchRequest(
+            net_id=5, sources=[(0, Point(2, 2))], targets=[(0, Point(15, 15))]
+        )
+        first = engine.search(req)
+        assert first is not None
+        assert cache.guidance_misses == 1
+        builds = engine.total_guidance_builds
+        second = engine.search(req)
+        assert second is not None
+        assert second.nodes == first.nodes
+        assert cache.guidance_hits == 1
+        assert engine.total_guidance_builds == builds  # served from memo
+
+    def test_occupancy_change_inside_window_invalidates(self):
+        grid = RoutingGrid(20, 20)
+        params = CostParams()
+        cache = OverlayCostCache(grid, params.gamma, params.delta_tip)
+        engine = AStarRouter(
+            grid, params, overlay_cache=cache, guidance="on"
+        )
+        engine.active_net = 5
+        req = SearchRequest(
+            net_id=5, sources=[(0, Point(2, 2))], targets=[(0, Point(15, 15))]
+        )
+        engine.search(req)
+        grid.occupy(0, Point(8, 8), 7)  # lands inside the search window
+        engine.search(req)
+        assert cache.guidance_hits == 0
+        assert cache.guidance_misses == 2
+
+    def test_far_away_change_keeps_the_entry(self):
+        grid = RoutingGrid(40, 40)
+        params = CostParams()
+        cache = OverlayCostCache(grid, params.gamma, params.delta_tip)
+        engine = AStarRouter(
+            grid, params, overlay_cache=cache, guidance="on"
+        )
+        engine.active_net = 5
+        req = SearchRequest(
+            net_id=5, sources=[(0, Point(2, 2))], targets=[(0, Point(8, 8))]
+        )
+        engine.search(req)
+        grid.occupy(0, Point(38, 38), 7)  # far outside the window + margin
+        engine.search(req)
+        assert cache.guidance_hits == 1
+
+
+@pytest.mark.parametrize(
+    "circuit,scale",
+    [("Test1", 0.12), ("Test6", 0.12)],
+    ids=["Test1-fixed-pins", "Test6-multi-candidate"],
+)
+def test_route_all_equivalence(circuit, scale):
+    """Full-flow equivalence: guidance on/auto commits exactly the routes
+    guidance off commits — same paths, same overlay, same wirelength —
+    while expanding no more nodes."""
+    spec = spec_by_name(circuit)
+    results = {}
+    engines = {}
+    for mode in ("off", "auto", "on"):
+        grid, nets = generate_benchmark(spec, scale=scale, seed=2014)
+        router = SadpRouter(grid, nets, guidance=mode)
+        router.engine.guidance_trigger = 32
+        router.engine.guidance_min_cells = 0  # scaled windows are tiny
+        results[mode] = router.route_all()
+        engines[mode] = router.engine
+    base = results["off"]
+    for mode in ("auto", "on"):
+        res = results[mode]
+        assert res.routes.keys() == base.routes.keys()
+        for net_id in base.routes:
+            a, b = res.routes[net_id], base.routes[net_id]
+            assert a.success == b.success, f"net {net_id} success diverged"
+            assert a.segments == b.segments, f"net {net_id} path diverged"
+            assert a.vias == b.vias, f"net {net_id} vias diverged"
+        assert res.overlay_units == base.overlay_units
+        assert res.total_wirelength == base.total_wirelength
+        assert engines[mode].total_searches == engines["off"].total_searches
+        assert engines[mode].total_expansions <= engines["off"].total_expansions
+        assert engines[mode].total_guided_searches > 0
+    assert engines["off"].total_guided_searches == 0
+
+
+def test_parallel_guided_matches_serial_guided():
+    """Guidance composes with the parallel batch router: same committed
+    result, and the worker-side guided-search counters fold back into the
+    main engine."""
+    spec = spec_by_name("Test1")
+    grid_s, nets_s = generate_benchmark(spec, scale=0.12, seed=2014)
+    grid_p, nets_p = generate_benchmark(spec, scale=0.12, seed=2014)
+    serial = SadpRouter(grid_s, nets_s, guidance="on")
+    par = SadpRouter(grid_p, nets_p, workers=2, executor="thread", guidance="on")
+    res_s = serial.route_all()
+    res_p = par.route_all()
+    assert res_p.routes.keys() == res_s.routes.keys()
+    for net_id in res_s.routes:
+        assert res_p.routes[net_id].segments == res_s.routes[net_id].segments
+    assert res_p.overlay_units == res_s.overlay_units
+    assert par.engine.total_guided_searches == serial.engine.total_guided_searches
+
+
+def test_sadp_router_rejects_bad_guidance():
+    grid = RoutingGrid(10, 10)
+    from repro.netlist import Netlist
+
+    with pytest.raises(ValueError):
+        SadpRouter(grid, Netlist(), guidance="sometimes")
