@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..obs.export import phase_totals
+from ..obs.provenance import collect_provenance
 from ..router import SadpRouter
 from .workloads import generate_benchmark, spec_by_name
 
@@ -394,6 +395,7 @@ def run_perf(
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
         },
+        "provenance": collect_provenance(),
         "config": {
             "rounds": rounds,
             "seed": seed,
@@ -554,6 +556,90 @@ def check_against_baseline(
     return problems
 
 
+def record_to_ledger(
+    payload: dict,
+    ledger_dir: Optional[str] = None,
+    gate: bool = False,
+) -> List[str]:
+    """Append each workload's fast sample to the run ledger.
+
+    With ``gate=True``, every new record is first compared (via
+    :func:`~repro.obs.ledger.diff_runs`) against the most recent prior
+    ``bench-perf`` record with the same workload and config hash; a
+    regression verdict becomes a problem string. Returns the list of
+    problems (empty = pass, or nothing to compare against yet).
+    """
+    from ..obs.ledger import Ledger, diff_runs, make_record
+
+    problems: List[str] = []
+    config_base = dict(payload.get("config", {}))
+    config_base.pop("workloads", None)
+    config_base.pop("scales", None)
+    with Ledger(ledger_dir) as ledger:
+        for wl in payload.get("workloads", []):
+            fast = wl["fast"]
+            workload = f"{wl['circuit']}@{wl['scale']}"
+            record = make_record(
+                "bench-perf",
+                workload,
+                {**config_base, "scale": wl["scale"], "seed": wl["seed"]},
+                outcome="ok",
+                wall_s=fast["route_all_s"],
+                phases=dict(fast.get("phases_s", {})),
+                counters={
+                    "astar_nodes_expanded_total": float(fast["expansions"]),
+                    "astar_searches_total": float(fast["searches"]),
+                },
+                parallel_decision=(wl.get("parallel_stats") or {}).get(
+                    "decision_trace"
+                ),
+                meta={
+                    "speedup": wl.get("speedup"),
+                    "guidance_speedup": wl.get("guidance_speedup"),
+                    "parallel_speedup": wl.get("parallel_speedup"),
+                },
+            )
+            baseline = (
+                ledger.latest(
+                    workload=workload,
+                    config_hash=record.config_hash,
+                    command="bench-perf",
+                    outcome="ok",
+                )
+                if gate
+                else None
+            )
+            ledger.record(record)
+            if baseline is not None:
+                diff = diff_runs(baseline, record)
+                if diff.verdict == "regression":
+                    rows = ", ".join(
+                        f"{row.section}:{row.name} {row.a:.4g} -> {row.b:.4g}"
+                        for row in diff.regressions
+                    )
+                    problems.append(
+                        f"{workload}: regression vs {baseline.run_id}: {rows}"
+                    )
+    return problems
+
+
+def _decision_lines(payload: dict) -> List[str]:
+    """Human-readable ``--workers auto`` rationale per workload."""
+    lines: List[str] = []
+    for wl in payload.get("workloads", []):
+        trace = (wl.get("parallel_stats") or {}).get("decision_trace")
+        if not trace:
+            continue
+        lines.append(
+            f"{wl['circuit']}: parallel decision = {trace.get('decision', '?')}"
+            f" — {trace.get('reason', '')}"
+            f" (scanned {trace.get('candidates_scanned', 0)},"
+            f" halo rejects {trace.get('halo_rejects', 0)},"
+            f" {trace.get('multi_net_batches', 0)} multi-net batches)"
+        )
+    return lines
+
+
 def _parse_workers(value: str) -> Union[int, str]:
     if value == "auto":
         return "auto"
@@ -616,6 +702,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="baseline BENCH_perf.json to gate speedup regressions against",
     )
     parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help="append each workload's fast sample to the run ledger",
+    )
+    parser.add_argument(
+        "--ledger-gate",
+        action="store_true",
+        help="also diff each sample against the latest comparable ledger "
+        "record and fail on a regression verdict (implies --ledger)",
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="run ledger directory (default .repro_runs, or $REPRO_LEDGER_DIR)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.30,
@@ -652,6 +755,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"PARALLEL MISMATCH: {problem}", file=sys.stderr)
             return 1
         print(f"parallel equivalence at --workers {args.workers}: OK")
+        for line in _decision_lines(payload):
+            print(line)
     summary = payload.get("summary", {})
     if "geomean_speedup" in summary:
         print(
@@ -680,6 +785,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"PERF REGRESSION: {problem}", file=sys.stderr)
             return 1
         print(f"perf check vs {args.check}: OK (tolerance {args.tolerance:.0%})")
+    if args.ledger or args.ledger_gate:
+        ledger_problems = record_to_ledger(
+            payload, ledger_dir=args.ledger_dir, gate=args.ledger_gate
+        )
+        if ledger_problems:
+            for problem in ledger_problems:
+                print(f"LEDGER REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        gate_note = " (gated vs prior records)" if args.ledger_gate else ""
+        print(f"ledger: {len(payload['workloads'])} records appended{gate_note}")
     return 0
 
 

@@ -210,6 +210,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     with observed_command(
         args,
         command="bench",
+        workload=f"{spec.name}@{args.scale}",
         circuit=spec.name,
         scale=args.scale,
         router=args.router,
@@ -228,6 +229,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 factory, args.router, spec, scale=args.scale, seed=args.seed
             )
         print(rows_to_table([row], caption=f"{spec.name} @ scale {args.scale}"))
+    return 0
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    from .obs.ledger import Ledger
+
+    with Ledger(args.ledger_dir) as ledger:
+        records = ledger.history(
+            limit=args.limit,
+            workload=args.workload,
+            command=args.filter_command,
+        )
+        root = ledger.root
+    if not records:
+        print(f"no runs recorded in {root}")
+        return 0
+    for record in records:
+        print(record.one_line())
+    return 0
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.ledger import Ledger
+
+    with Ledger(args.ledger_dir) as ledger:
+        record = ledger.get(args.run_id)
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.ledger import DiffThresholds, Ledger, diff_runs
+
+    with Ledger(args.ledger_dir) as ledger:
+        a = ledger.get(args.run_a)
+        b = ledger.get(args.run_b)
+    diff = diff_runs(a, b, DiffThresholds())
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.to_text())
+    if args.gate and diff.verdict == "regression":
+        return 1
+    return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from .obs import collapsed_stacks
+
+    lines = collapsed_stacks(args.logfile)
+    if not lines:
+        print(f"{args.logfile}: no spans to fold", file=sys.stderr)
+        return 1
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -346,6 +406,47 @@ def build_parser() -> argparse.ArgumentParser:
     scen = sub.add_parser("scenarios", help="print the Table II color rules")
     scen.set_defaults(func=_cmd_scenarios)
 
+    obs_parser = sub.add_parser(
+        "obs", help="inspect the run ledger and observability artifacts"
+    )
+    osub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    ohistory = osub.add_parser("history", help="list recorded runs, newest first")
+    ohistory.add_argument("--limit", type=int, default=20, help="max rows (default 20)")
+    ohistory.add_argument("--workload", help="filter by workload (exact match)")
+    ohistory.add_argument(
+        "--command", dest="filter_command", help="filter by command (route/bench/...)"
+    )
+    _add_ledger_dir_flag(ohistory)
+    ohistory.set_defaults(func=_cmd_obs_history)
+
+    oshow = osub.add_parser("show", help="dump one run record as JSON")
+    oshow.add_argument("run_id", help="run id (unique prefix accepted)")
+    _add_ledger_dir_flag(oshow)
+    oshow.set_defaults(func=_cmd_obs_show)
+
+    odiff = osub.add_parser(
+        "diff", help="compare run B against run A: phases, counters, RSS, verdict"
+    )
+    odiff.add_argument("run_a", help="baseline run id (unique prefix accepted)")
+    odiff.add_argument("run_b", help="candidate run id (unique prefix accepted)")
+    odiff.add_argument("--json", action="store_true", help="machine-readable output")
+    odiff.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 on a regression verdict (for CI)",
+    )
+    _add_ledger_dir_flag(odiff)
+    odiff.set_defaults(func=_cmd_obs_diff)
+
+    oflame = osub.add_parser(
+        "flame",
+        help="fold a JSONL run log into collapsed stacks "
+        "(pipe into flamegraph.pl or paste into speedscope)",
+    )
+    oflame.add_argument("logfile", help="run log written by --trace")
+    oflame.set_defaults(func=_cmd_obs_flame)
+
     validate = sub.add_parser(
         "validate-trace", help="check a JSONL run log against the schema"
     )
@@ -410,6 +511,28 @@ def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--trace",
         metavar="FILE.jsonl",
         help="enable observability and write the merged JSONL run log",
+    )
+    sub_parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this run in the run ledger",
+    )
+    sub_parser.add_argument(
+        "--prom-port",
+        type=int,
+        metavar="PORT",
+        help="serve Prometheus metrics on 127.0.0.1:PORT/metrics "
+        "for the duration of the command (0 picks a free port)",
+    )
+    _add_ledger_dir_flag(sub_parser)
+
+
+def _add_ledger_dir_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="run ledger directory (default .repro_runs, or $REPRO_LEDGER_DIR)",
     )
 
 

@@ -57,15 +57,34 @@ __all__ = [
     "phase_table",
     "export_run_jsonl",
     "validate_run_jsonl",
+    "collapsed_stacks",
+    "collect_provenance",
 ]
 
 
 class Observability:
-    """One run's worth of telemetry: a registry plus a tracer."""
+    """One run's worth of telemetry: a registry, a tracer, and an
+    optional background resource sampler."""
 
     def __init__(self) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        #: Optional :class:`~repro.obs.resource.ResourceSampler`;
+        #: started on demand, stopped automatically on disable().
+        self.sampler = None
+
+    def start_resource_sampler(self, interval_s: float = 0.1):
+        """Start (or return the already-running) background sampler."""
+        if self.sampler is None:
+            from .resource import ResourceSampler
+
+            self.sampler = ResourceSampler(self.tracer, interval_s=interval_s)
+        self.sampler.start()
+        return self.sampler
+
+    def stop_resource_sampler(self) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
 
 
 #: The process-wide backend; ``None`` means observability is off.
@@ -86,6 +105,8 @@ def enable(fresh: bool = True) -> Observability:
 
 def disable() -> None:
     global _active
+    if _active is not None:
+        _active.stop_resource_sampler()
     _active = None
 
 
@@ -111,6 +132,8 @@ def session(fresh: bool = True) -> Iterator[Observability]:
     try:
         yield ob
     finally:
+        if ob is not previous:
+            ob.stop_resource_sampler()
         _active = previous
 
 
@@ -193,4 +216,10 @@ def counter_inc(name: str, amount: float = 1.0, **labels: Any) -> None:
 # Reporting (implemented in export.py; re-exported here for one-stop use)
 # ---------------------------------------------------------------------- #
 
-from .export import export_run_jsonl, phase_table, validate_run_jsonl  # noqa: E402
+from .export import (  # noqa: E402
+    collapsed_stacks,
+    export_run_jsonl,
+    phase_table,
+    validate_run_jsonl,
+)
+from .provenance import collect_provenance  # noqa: E402

@@ -105,8 +105,19 @@ class Histogram:
         return ordered[idx]
 
     def summary(self) -> Dict[str, float]:
+        # Both branches emit the same key set: JSONL consumers key on a
+        # stable schema, so the zero-count summary carries explicit
+        # zeros rather than omitting the quantile fields.
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.sum,
@@ -209,6 +220,17 @@ class MetricsRegistry:
                 }
             )
         return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text-format exposition of every instrument.
+
+        Counters and gauges map directly; histograms are exposed
+        summary-style (``_count``/``_sum`` plus quantile gauges). See
+        :mod:`repro.obs.prom` for the format details.
+        """
+        from .prom import to_prometheus
+
+        return to_prometheus(self)
 
     def to_text(self) -> str:
         """Human-readable dump, grouped and sorted for stable output."""

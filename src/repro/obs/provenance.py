@@ -1,0 +1,77 @@
+"""Best-effort run provenance: who produced a measurement, with what.
+
+A ledger entry or a ``BENCH_perf.json`` snapshot is only comparable to
+another one when both say what code and what numeric stack produced
+them. :func:`collect_provenance` gathers the cheap, always-available
+facts — package version, interpreter, numpy/scipy versions, and (when
+the working directory is a git checkout) the commit sha and dirty flag.
+Everything is best-effort: a missing git binary or a non-repo directory
+degrades to omitting the git fields, never to an exception.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from functools import lru_cache
+from typing import Dict
+
+
+@lru_cache(maxsize=1)
+def _git_state() -> Dict[str, str]:
+    """``{"git_sha": ..., "git_dirty": "yes"|"no"}`` or ``{}``."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if sha.returncode != 0:
+            return {}
+        out: Dict[str, str] = {"git_sha": sha.stdout.strip()}
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if status.returncode == 0:
+            out["git_dirty"] = "yes" if status.stdout.strip() else "no"
+        return out
+    except (OSError, subprocess.SubprocessError):
+        return {}
+
+
+def _module_version(name: str) -> str:
+    try:
+        import importlib
+
+        return str(getattr(importlib.import_module(name), "__version__", "unknown"))
+    except Exception:
+        return "absent"
+
+
+@lru_cache(maxsize=1)
+def _collect() -> Dict[str, str]:
+    from .. import __version__
+
+    out: Dict[str, str] = {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": _module_version("numpy"),
+        "scipy": _module_version("scipy"),
+    }
+    out.update(_git_state())
+    return out
+
+
+def collect_provenance() -> Dict[str, str]:
+    """Environment fingerprint for run records and bench payloads.
+
+    Computed once per process (the answer cannot change mid-run, and the
+    git subprocess should be paid at most once); callers get a copy they
+    may extend freely.
+    """
+    return dict(_collect())

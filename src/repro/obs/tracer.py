@@ -60,16 +60,21 @@ class Tracer:
         self.epoch = time.perf_counter()
         self.finished: List[Span] = []
         self._next_id = 0
-        self._local = threading.local()
+        # Per-thread span stacks, keyed by thread ident rather than held
+        # in a ``threading.local``: the resource sampler reads *other*
+        # threads' stacks to attribute samples to the active span, which
+        # thread-local storage cannot offer.
+        self._stacks: Dict[int, List[Span]] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
 
     def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack is None:
-            stack = self._local.stack = []
+            stack = self._stacks[ident] = []
         return stack
 
     @contextmanager
@@ -95,6 +100,57 @@ class Tracer:
     def current(self) -> Optional[Span]:
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def active_leaves(self) -> List[Span]:
+        """Innermost open span of every thread with a non-empty stack.
+
+        Called from the resource-sampler thread without locking: span
+        enter/exit only appends/pops under the GIL, so the worst a race
+        can produce is a just-closed span — harmless for attribution.
+        """
+        leaves: List[Span] = []
+        try:
+            stacks = list(self._stacks.values())
+        except RuntimeError:  # pragma: no cover - dict resized mid-copy
+            return leaves
+        for stack in stacks:
+            if stack:
+                try:
+                    leaves.append(stack[-1])
+                except IndexError:  # pragma: no cover - popped mid-read
+                    pass
+        return leaves
+
+    def record_external(
+        self, name: str, duration_s: float, count: int = 1, **attrs: Any
+    ) -> List[Span]:
+        """Fold already-measured work (e.g. a worker process's searches)
+        into this tracer as finished spans.
+
+        The worker ran ``count`` sections totalling ``duration_s`` that
+        this process never saw; each becomes a span of the mean duration,
+        parented under the caller's current span and marked
+        ``external=True`` so timeline consumers can tell them from
+        locally clocked spans. Start offsets are back-dated from "now" so
+        a child never appears to outlive its parent.
+        """
+        parent = self.current()
+        now = time.perf_counter() - self.epoch
+        each = duration_s / count if count > 0 else 0.0
+        spans: List[Span] = []
+        for _ in range(max(0, count)):
+            self._next_id += 1
+            sp = Span(
+                name=name,
+                span_id=self._next_id,
+                parent_id=parent.span_id if parent is not None else None,
+                start_s=max(0.0, now - each),
+                attrs={"external": True, **attrs},
+                end_s=now,
+            )
+            self.finished.append(sp)
+            spans.append(sp)
+        return spans
 
     # ------------------------------------------------------------------ #
     # Aggregation

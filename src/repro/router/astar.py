@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -968,6 +969,14 @@ class SubproblemResult:
     engine_expansions: int = 0
     engine_guided_searches: int = 0
     engine_guidance_builds: int = 0
+    #: Picklable observability digest of the worker's searches:
+    #: ``{"spans": [(name, count, total_s), ...],
+    #:   "counters": [(name, ((label, value), ...), amount), ...]}``.
+    #: Always measured (plain perf_counter timing, no obs backend
+    #: involved); the parent folds it into its tracer/registry only for
+    #: process pools, where worker-side recording cannot reach the
+    #: parent. Thread/serial executors record live and need no digest.
+    obs_digest: Optional[Dict] = None
 
     def to_precomputed(self) -> PrecomputedAttempt:
         if self.outcome != "found":
@@ -1092,6 +1101,15 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
     engine.guidance_min_cells = sub.guidance_min_cells
     engine.active_net = sub.net_id
 
+    # Observability digest: the worker's searches timed with plain
+    # perf_counter (no obs backend — worker processes have none that
+    # reaches the parent) plus the registry increments the live
+    # AStarRouter.search would have made. Shipped back picklable so the
+    # parent can fold dropped worker-side telemetry in on accept.
+    search_spans = [0, 0.0]  # count, total seconds
+    outcome_counts: Dict[str, int] = {}
+    stat_totals = [0, 0, 0]  # expansions, heap pushes, heap pops
+
     def guarded_search(request: SearchRequest) -> Optional[SearchResult]:
         pts = [pt for _, pt in request.sources] + [pt for _, pt in request.targets]
         local = search_window(pts, margin, view.width, view.height)
@@ -1113,7 +1131,33 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
             or min(sub.die_height - 1, ayhi + 2) > byhi
         ):
             raise _WindowExceeded
-        return engine.search(request)
+        t0 = time.perf_counter()
+        result = engine.search(request)
+        search_spans[0] += 1
+        search_spans[1] += time.perf_counter() - t0
+        outcome_counts[engine.last_outcome] = (
+            outcome_counts.get(engine.last_outcome, 0) + 1
+        )
+        expansions, pushes, pops = engine._last_stats
+        stat_totals[0] += expansions
+        stat_totals[1] += pushes
+        stat_totals[2] += pops
+        return result
+
+    def obs_digest() -> Dict:
+        counters: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = [
+            ("astar_searches_total", (("outcome", oc),), float(n))
+            for oc, n in sorted(outcome_counts.items())
+        ]
+        counters += [
+            ("astar_nodes_expanded_total", (), float(stat_totals[0])),
+            ("astar_heap_pushes_total", (), float(stat_totals[1])),
+            ("astar_heap_pops_total", (), float(stat_totals[2])),
+        ]
+        return {
+            "spans": [("astar_search", search_spans[0], search_spans[1])],
+            "counters": counters,
+        }
 
     request = SearchRequest(
         net_id=sub.net_id,
@@ -1141,6 +1185,7 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
             engine_expansions=engine.total_expansions,
             engine_guided_searches=engine.total_guided_searches,
             engine_guidance_builds=engine.total_guidance_builds,
+            obs_digest=obs_digest(),
         )
     if found is None:
         return SubproblemResult(
@@ -1150,6 +1195,7 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
             engine_expansions=engine.total_expansions,
             engine_guided_searches=engine.total_guided_searches,
             engine_guidance_builds=engine.total_guidance_builds,
+            obs_digest=obs_digest(),
         )
     shift = Point(ox, oy)
     return SubproblemResult(
@@ -1167,4 +1213,5 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
         engine_expansions=engine.total_expansions,
         engine_guided_searches=engine.total_guided_searches,
         engine_guidance_builds=engine.total_guidance_builds,
+        obs_digest=obs_digest(),
     )

@@ -98,6 +98,11 @@ class BatchScheduler:
         self.halo = interaction_halo(rules)
         self.max_batch = max(1, max_batch)
         self.lookahead = max(self.max_batch, lookahead)
+        #: Cumulative scan statistics across every :meth:`pick` — queue
+        #: positions examined and halo-conflict rejections. The parallel
+        #: decision trace reads these to explain batch density.
+        self.candidates_scanned = 0
+        self.halo_rejects = 0
 
     def window(self, net: Net) -> Bounds:
         pins = (net.source, net.target, *net.taps)
@@ -116,39 +121,89 @@ class BatchScheduler:
         for i in range(min(len(queue), self.lookahead)):
             net = queue[i]
             win = self.window(net)
+            self.candidates_scanned += 1
             if i == 0 or all(windows_disjoint(win, other) for other in windows):
                 picked.append((net, win))
                 windows.append(win)
                 if len(picked) >= self.max_batch:
                     break
+            else:
+                self.halo_rejects += 1
         return picked
+
+
+@dataclass
+class BatchPlan:
+    """Dry-run scheduling prediction — the evidence behind the
+    ``workers="auto"`` serial-vs-parallel call.
+
+    Beyond the headline :attr:`batched_fraction`, the plan keeps the
+    scan-level detail (batches formed, singletons, halo-conflict
+    rejections, queue positions examined) so the decision trace can say
+    *why* a workload stayed serial, not just that it did.
+    """
+
+    nets: int = 0
+    multi_net_batches: int = 0
+    batched_nets: int = 0
+    singleton_nets: int = 0
+    candidates_scanned: int = 0
+    halo_rejects: int = 0
+
+    @property
+    def batched_fraction(self) -> float:
+        return self.batched_nets / self.nets if self.nets else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "nets": self.nets,
+            "multi_net_batches": self.multi_net_batches,
+            "batched_nets": self.batched_nets,
+            "singleton_nets": self.singleton_nets,
+            "candidates_scanned": self.candidates_scanned,
+            "halo_rejects": self.halo_rejects,
+            "predicted_batched_fraction": round(self.batched_fraction, 3),
+        }
+
+
+def predict_batch_plan(
+    scheduler: BatchScheduler, ordered: Sequence[Net]
+) -> BatchPlan:
+    """Dry-run the scheduler over the ordered queue; returns the plan.
+
+    The exact pick/consume loop of :meth:`ParallelRouter.route` (without
+    routing anything): windows only depend on pin candidates, so the
+    prediction costs a few window computations per net. It ignores
+    staleness fallbacks — those nets still ran in a batch — so it predicts
+    scheduling density, the term that decides whether batching can pay.
+    """
+    plan = BatchPlan(nets=len(ordered))
+    if not ordered:
+        return plan
+    scan0 = scheduler.candidates_scanned
+    rej0 = scheduler.halo_rejects
+    queue: Deque[Net] = deque(ordered)
+    while queue:
+        picked = scheduler.pick(queue)
+        if len(picked) < 2:
+            queue.popleft()
+            plan.singleton_nets += 1
+            continue
+        plan.multi_net_batches += 1
+        plan.batched_nets += len(picked)
+        ids = {net.net_id for net, _ in picked}
+        while ids:
+            ids.discard(queue.popleft().net_id)
+    plan.candidates_scanned = scheduler.candidates_scanned - scan0
+    plan.halo_rejects = scheduler.halo_rejects - rej0
+    return plan
 
 
 def predict_batched_fraction(
     scheduler: BatchScheduler, ordered: Sequence[Net]
 ) -> float:
-    """Fraction of nets the scheduler would place into >=2-net batches.
-
-    A dry run of the exact pick/consume loop of :meth:`ParallelRouter.route`
-    (without routing anything): windows only depend on pin candidates, so
-    the prediction costs a few window computations per net. It ignores
-    staleness fallbacks — those nets still ran in a batch — so it predicts
-    scheduling density, the term that decides whether batching can pay.
-    """
-    if not ordered:
-        return 0.0
-    queue: Deque[Net] = deque(ordered)
-    batched = 0
-    while queue:
-        picked = scheduler.pick(queue)
-        if len(picked) < 2:
-            queue.popleft()
-            continue
-        batched += len(picked)
-        ids = {net.net_id for net, _ in picked}
-        while ids:
-            ids.discard(queue.popleft().net_id)
-    return batched / len(ordered)
+    """Fraction of nets the scheduler would place into >=2-net batches."""
+    return predict_batch_plan(scheduler, ordered).batched_fraction
 
 
 class _DirtyTracker:
@@ -228,6 +283,13 @@ class ParallelStats:
     #: "parallel", plus the scheduler's predicted batched-net fraction.
     auto_decision: str = ""
     predicted_batched_fraction: float = -1.0
+    #: Live scheduler scan totals (queue positions examined and
+    #: halo-conflict rejections across every pick of the run).
+    candidates_scanned: int = 0
+    halo_rejects: int = 0
+    #: Structured serial-vs-parallel rationale (the ``parallel_decision``
+    #: trace event's attributes); empty for explicit worker counts.
+    decision_trace: Dict[str, object] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -244,13 +306,35 @@ class ParallelStats:
             "hits": self.hits,
             "fallbacks": self.fallbacks,
             "fallback_reasons": dict(self.fallback_reasons),
+            "candidates_scanned": self.candidates_scanned,
+            "halo_rejects": self.halo_rejects,
         }
         if self.auto_decision:
             payload["auto_decision"] = self.auto_decision
             payload["predicted_batched_fraction"] = round(
                 self.predicted_batched_fraction, 3
             )
+        if self.decision_trace:
+            payload["decision_trace"] = dict(self.decision_trace)
         return payload
+
+
+def emit_decision_event(trace: Dict[str, object]) -> None:
+    """Record the serial-vs-parallel rationale as telemetry.
+
+    Emits a zero-work ``parallel_decision`` span whose attributes carry
+    the structured rationale (decision, predicted fraction, threshold,
+    scan counts, reason) plus a ``parallel_decision_total`` counter
+    labelled by the decision — so both the run log and the metrics
+    registry can answer "why did this run (not) engage the pool?".
+    No-op when the trace is empty or observability is off.
+    """
+    if not trace or not obs.is_enabled():
+        return
+    decision = str(trace.get("decision", ""))
+    with obs.span("parallel_decision", **trace):
+        pass
+    obs.counter_inc("parallel_decision_total", decision=decision or "explicit")
 
 
 class ParallelRouter:
@@ -294,11 +378,14 @@ class ParallelRouter:
     def route(self, ordered: Sequence[Net], result) -> None:
         """Route ``ordered`` into ``result.routes``, in canonical order."""
         router = self.router
+        emit_decision_event(self.stats.decision_trace)
         queue: Deque[Net] = deque(ordered)
         tracker = _DirtyTracker()
         router.grid.add_change_listener(tracker)
         pool = make_executor(self.executor_kind, self.workers)
         degraded = False
+        scan0 = self.scheduler.candidates_scanned
+        rej0 = self.scheduler.halo_rejects
         try:
             while queue:
                 picked = [] if degraded else self.scheduler.pick(queue)
@@ -342,6 +429,14 @@ class ParallelRouter:
         finally:
             router.grid.remove_change_listener(tracker)
             pool.shutdown(wait=False, cancel_futures=True)
+            self.stats.candidates_scanned = (
+                self.scheduler.candidates_scanned - scan0
+            )
+            self.stats.halo_rejects = self.scheduler.halo_rejects - rej0
+            obs.counter_inc(
+                "parallel_candidates_scanned_total", self.stats.candidates_scanned
+            )
+            obs.counter_inc("parallel_halo_rejects_total", self.stats.halo_rejects)
 
     # ------------------------------------------------------------------ #
 
@@ -393,9 +488,34 @@ class ParallelRouter:
         router.engine.total_expansions += res.engine_expansions
         router.engine.total_guided_searches += res.engine_guided_searches
         router.engine.total_guidance_builds += res.engine_guidance_builds
+        self._fold_obs_digest(net, res)
         result.routes[net.net_id] = router.route_net(
             net, precomputed=res.to_precomputed()
         )
+
+    def _fold_obs_digest(self, net: Net, res: SubproblemResult) -> None:
+        """Merge the worker's telemetry digest into the parent backend.
+
+        Process-pool workers run with their own (discarded) copy of the
+        observability backend, so their spans and counters are shipped
+        back as a picklable digest and replayed here — under the live
+        ``parallel_batch`` span — so span counts and counter totals match
+        a sequential run. Thread/serial executors share the parent's
+        backend and already recorded live: folding would double-count.
+        """
+        if self.executor_kind != "process" or res.obs_digest is None:
+            return
+        ob = obs.get_active()
+        if ob is None:
+            return
+        for name, count, total_s in res.obs_digest.get("spans", ()):
+            if count:
+                ob.tracer.record_external(
+                    name, total_s, count=count, net_id=net.net_id
+                )
+        for name, labels, amount in res.obs_digest.get("counters", ()):
+            if amount:
+                ob.registry.counter(name, **dict(labels)).inc(amount)
 
     def _fallback(self, net: Net, result, reason: str) -> None:
         self.stats.fallbacks += 1

@@ -88,6 +88,9 @@ class SadpRouter:
         self.guidance = guidance
         #: ParallelStats of the last route_all (None for sequential runs).
         self.parallel_stats = None
+        #: ``workers="auto"`` rationale dict (the ``parallel_decision``
+        #: trace attributes); None until :meth:`_resolve_workers` runs.
+        self._auto_rationale = None
         #: Ablation knob for contribution 1: with the merge technique
         #: disabled, abutting tips (type 1-b) cannot be merged-and-cut —
         #: every 1-b scenario forces a rip-up, as in the trim process.
@@ -217,18 +220,21 @@ class SadpRouter:
             if auto_choice is not None:
                 runner.stats.auto_decision = auto_choice[0]
                 runner.stats.predicted_batched_fraction = auto_choice[1]
+                runner.stats.decision_trace = self._auto_rationale or {}
             runner.route(ordered, result)
             self.parallel_stats = runner.stats
         else:
             if auto_choice is not None:
-                from .parallel import ParallelStats
+                from .parallel import ParallelStats, emit_decision_event
 
                 self.parallel_stats = ParallelStats(
                     workers=1,
                     executor="serial",
                     auto_decision=auto_choice[0],
                     predicted_batched_fraction=auto_choice[1],
+                    decision_trace=self._auto_rationale or {},
                 )
+                emit_decision_event(self.parallel_stats.decision_trace)
             for net in ordered:
                 result.routes[net.net_id] = self.route_net(net)
         result.routes.update(self._evicted_routes)
@@ -287,17 +293,28 @@ class SadpRouter:
         ``(workers, (decision, predicted_fraction))`` for auto.
         """
         if self.workers != "auto":
+            self._auto_rationale = None
             return self.workers, None
         import os
 
         from .parallel import (
             AUTO_MIN_BATCHED_FRACTION,
             BatchScheduler,
-            predict_batched_fraction,
+            predict_batch_plan,
         )
 
         workers = min(4, os.cpu_count() or 1)
         if workers < 2 or len(ordered) < 2:
+            self._auto_rationale = {
+                "decision": "serial",
+                "predicted_batched_fraction": 0.0,
+                "threshold": AUTO_MIN_BATCHED_FRACTION,
+                "nets": len(ordered),
+                "workers_considered": workers,
+                "reason": (
+                    "single-core host" if workers < 2 else "netlist too small"
+                ),
+            }
             return 1, ("serial", 0.0)
         scheduler = BatchScheduler(
             self.params,
@@ -307,8 +324,23 @@ class SadpRouter:
             max_batch=max(2 * workers, 2),
             lookahead=max(8 * workers, 16),
         )
-        fraction = predict_batched_fraction(scheduler, ordered)
-        if fraction < AUTO_MIN_BATCHED_FRACTION:
+        plan = predict_batch_plan(scheduler, ordered)
+        fraction = plan.batched_fraction
+        decision = (
+            "serial" if fraction < AUTO_MIN_BATCHED_FRACTION else "parallel"
+        )
+        self._auto_rationale = {
+            "decision": decision,
+            "threshold": AUTO_MIN_BATCHED_FRACTION,
+            "workers_considered": workers,
+            "reason": (
+                f"predicted batched fraction {fraction:.3f} "
+                f"{'<' if decision == 'serial' else '>='} threshold "
+                f"{AUTO_MIN_BATCHED_FRACTION}"
+            ),
+            **plan.to_dict(),
+        }
+        if decision == "serial":
             return 1, ("serial", fraction)
         return workers, ("parallel", fraction)
 

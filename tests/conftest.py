@@ -13,6 +13,13 @@ def _obs_off_between_tests():
     obs.disable()
 
 
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(tmp_path, monkeypatch):
+    """CLI runs record to the ledger by default; keep test runs out of
+    the working tree's ``.repro_runs/``."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "repro_runs"))
+
+
 @pytest.fixture
 def rules() -> DesignRules:
     """The paper's 10 nm-node rule set."""

@@ -1,0 +1,130 @@
+"""Resource sampler: collection, span attribution, and the overhead gate."""
+
+import time
+
+from repro.obs.resource import (
+    ResourceSampler,
+    gc_collections,
+    read_rss_bytes,
+)
+from repro.obs.tracer import Tracer
+
+
+def _busy(seconds):
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1
+    return x
+
+
+class TestReaders:
+    def test_rss_positive_on_this_platform(self):
+        assert read_rss_bytes() > 0
+
+    def test_gc_collections_non_negative(self):
+        assert gc_collections() >= 0
+
+
+class TestSampler:
+    def test_collects_samples_while_running(self):
+        sampler = ResourceSampler(interval_s=0.005)
+        sampler.start()
+        _busy(0.05)
+        sampler.stop()
+        assert len(sampler.samples) >= 2
+        assert all(s.rss_bytes > 0 for s in sampler.samples)
+        assert all(s.threads >= 1 for s in sampler.samples)
+
+    def test_attributes_samples_to_active_leaf_span(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(tracer, interval_s=0.005)
+        sampler.start()
+        with tracer.span("outer"):
+            with tracer.span("inner_hot"):
+                _busy(0.08)
+        sampler.stop()
+        names = {n for s in sampler.samples for n in s.span_names}
+        assert "inner_hot" in names
+        by_span = sampler.by_span()
+        assert by_span["inner_hot"]["samples"] >= 1
+        assert by_span["inner_hot"]["peak_rss_mb"] > 0
+
+    def test_summary_keys_and_values(self):
+        sampler = ResourceSampler(interval_s=0.005)
+        sampler.start()
+        _busy(0.03)
+        sampler.stop()
+        summary = sampler.summary()
+        for key in (
+            "samples",
+            "duration_s",
+            "peak_rss_mb",
+            "mean_rss_mb",
+            "mean_cpu_pct",
+            "max_cpu_pct",
+            "max_threads",
+            "gc_collections",
+        ):
+            assert key in summary
+        assert summary["peak_rss_mb"] >= summary["mean_rss_mb"] > 0
+        assert summary["samples"] == len(sampler.samples)
+
+    def test_empty_summary_when_never_started(self):
+        sampler = ResourceSampler()
+        assert sampler.summary() == {}
+        assert sampler.by_span() == {}
+
+    def test_stop_without_start_and_double_stop_are_safe(self):
+        sampler = ResourceSampler()
+        sampler.stop()
+        assert sampler.samples == []
+        sampler.start()
+        sampler.stop()
+        n = len(sampler.samples)
+        sampler.stop()
+        assert len(sampler.samples) == n
+
+    def test_restart_keeps_accumulating(self):
+        sampler = ResourceSampler(interval_s=0.005)
+        sampler.start()
+        _busy(0.02)
+        sampler.stop()
+        first = len(sampler.samples)
+        sampler.start()
+        _busy(0.02)
+        sampler.stop()
+        assert len(sampler.samples) > first
+
+    def test_overhead_per_sample_within_two_percent_budget(self):
+        """The sampler must cost <= 2% of a 10 Hz cadence: at 100 ms per
+        sample window, that is 2 ms per sample. Time the exact per-wake
+        work (``sample_once``) over many iterations; the deterministic
+        per-call bound gates overhead without a flaky wall-clock A/B."""
+        tracer = Tracer()
+        with tracer.span("load"):
+            sampler = ResourceSampler(tracer, interval_s=0.1)
+            sampler.start()  # realistic: reader thread is live
+            rounds = 200
+            t0 = time.perf_counter()
+            for _ in range(rounds):
+                sampler.sample_once()
+            per_sample_s = (time.perf_counter() - t0) / rounds
+            sampler.stop()
+        assert per_sample_s <= 0.002, (
+            f"sample_once costs {per_sample_s * 1e3:.3f} ms "
+            f"(> 2% of the 10 Hz budget)"
+        )
+
+    def test_decimation_bounds_memory(self, monkeypatch):
+        import repro.obs.resource as resource_mod
+
+        monkeypatch.setattr(resource_mod, "MAX_SAMPLES", 8)
+        sampler = ResourceSampler(interval_s=0.001)
+        sampler.start()
+        deadline = time.perf_counter() + 1.0
+        while len(sampler.samples) <= 4 and time.perf_counter() < deadline:
+            time.sleep(0.002)
+        sampler.stop()
+        # the 2:1 decimation keeps the list near the cap, never unbounded
+        assert len(sampler.samples) <= 2 * 8
