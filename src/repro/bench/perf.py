@@ -33,13 +33,26 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import os
+
 from .. import obs
 from ..obs.export import phase_totals
 from ..obs.provenance import collect_provenance
 from ..router import SadpRouter
-from .workloads import generate_benchmark, spec_by_name
+from .workloads import (
+    FULL_TIER_SCALES,
+    FULL_TIER_WORKLOADS,
+    generate_benchmark,
+    spec_by_name,
+)
 
+#: Schema of one tier's flat payload (what :func:`run_perf` returns).
 SCHEMA = "repro-bench-perf/1"
+
+#: Schema of the tiered ``BENCH_perf.json`` envelope: ``{"tiers":
+#: {"quick": <flat payload>, "full": <flat payload>}}`` plus hoisted
+#: host/provenance. :func:`iter_tier_payloads` normalises both shapes.
+SCHEMA_TIERED = "repro-bench-perf/2"
 
 #: Workload scales: chosen so a full default run finishes in a couple of
 #: minutes while Test5 is large enough for a stable speedup estimate.
@@ -139,6 +152,10 @@ class WorkloadResult:
     guided: Optional[ModeSample] = None
     parallel: Optional[ModeSample] = None
     parallel_stats: Optional[dict] = None
+    #: Dry-run ``workers="auto"`` rationale for this instance — answers
+    #: "what would auto do here, and why" from the payload alone, even
+    #: when the timed runs used explicit workers.
+    auto_probe: Optional[dict] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -187,6 +204,8 @@ class WorkloadResult:
             out["parallel_speedup"] = round(self.parallel_speedup, 4)
             if self.parallel_stats is not None:
                 out["parallel_stats"] = self.parallel_stats
+        if self.auto_probe is not None:
+            out["auto_decision_probe"] = self.auto_probe
         return out
 
 
@@ -197,6 +216,7 @@ def _make_router(
     mode: str,
     workers: Union[int, str] = 1,
     executor: str = "process",
+    shard: str = "auto",
 ) -> SadpRouter:
     """A fresh router instance configured for one bench mode."""
     spec = spec_by_name(circuit)
@@ -208,6 +228,7 @@ def _make_router(
         workers=workers if mode == "parallel" else 1,
         executor=executor,
         guidance=cfg["guidance"],
+        shard=shard if mode == "parallel" else "auto",
     )
     router.engine.use_reference = cfg["use_reference"]
     return router
@@ -220,9 +241,10 @@ def _run_once(
     mode: str,
     workers: Union[int, str] = 1,
     executor: str = "process",
+    shard: str = "auto",
 ) -> _Run:
     """One fresh instance + route_all with the mode's configuration."""
-    router = _make_router(circuit, scale, seed, mode, workers, executor)
+    router = _make_router(circuit, scale, seed, mode, workers, executor, shard)
     t0 = time.perf_counter()
     result = router.route_all()
     wall = time.perf_counter() - t0
@@ -250,6 +272,7 @@ def _phase_split(
     mode: str = "fast",
     workers: Union[int, str] = 1,
     executor: str = "process",
+    shard: str = "auto",
 ) -> Tuple[Dict[str, float], float]:
     """One instrumented (untimed-for-comparison) run for the phase split.
 
@@ -259,7 +282,7 @@ def _phase_split(
     the ``parallel`` mode the split covers main-process spans only
     (worker processes do not propagate tracer state).
     """
-    router = _make_router(circuit, scale, seed, mode, workers, executor)
+    router = _make_router(circuit, scale, seed, mode, workers, executor, shard)
     with obs.session():
         before = dict(phase_totals())
         router.route_all()
@@ -281,6 +304,25 @@ def _wants_parallel(workers: Union[int, str]) -> bool:
     return workers == "auto" or (isinstance(workers, int) and workers > 1)
 
 
+def _probe_auto_decision(
+    circuit: str, scale: float, seed: int, shard: str = "auto"
+) -> Optional[dict]:
+    """Dry-run the ``workers="auto"`` resolver on a fresh instance.
+
+    Pure planning (shard geometry + batch-scheduler scan, no routing);
+    the returned rationale dict is what ``_resolve_workers`` would log
+    for this instance on *this host* — including the host's core count,
+    so a ``"serial"`` probe on a one-core box is distinguishable from a
+    genuinely unshardable workload.
+    """
+    spec = spec_by_name(circuit)
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    router = SadpRouter(grid, nets, workers="auto", shard=shard)
+    ordered = list(router.netlist.ordered_for_routing(router.order))
+    router._resolve_workers(ordered)
+    return router._auto_rationale
+
+
 def run_perf(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     scales: Optional[Dict[str, float]] = None,
@@ -291,18 +333,23 @@ def run_perf(
     include_phases: bool = True,
     workers: Union[int, str] = 1,
     executor: str = "process",
+    shard: str = "auto",
+    include_probe: bool = False,
     verbose: bool = True,
 ) -> dict:
-    """Run the perf bench; returns the ``BENCH_perf.json`` payload.
+    """Run the perf bench; returns one tier's flat payload.
 
     With ``include_guidance`` each workload runs a guidance-on/off A/B
     of the fast path (``guided`` sample, ``guidance_speedup``,
     ``expansion_reduction``); :func:`check_guidance_equivalence` gates
     that the guided run produced identical metrics from strictly fewer
     (or equal) expansions. With ``workers`` > 1 or ``"auto"`` each
-    workload also runs through the parallel batch-routing engine and the
-    payload grows ``parallel`` / ``parallel_speedup`` /
+    workload also runs through the parallel routing engine — ``shard``
+    picks region sharding ("on"/"auto") vs the batch scheduler ("off")
+    — and the payload grows ``parallel`` / ``parallel_speedup`` /
     ``parallel_stats``; :func:`check_parallel_equivalence` gates those.
+    ``include_probe`` additionally records each workload's
+    ``auto_decision_probe`` (the dry-run ``workers="auto"`` rationale).
     """
     if obs.is_enabled():
         raise RuntimeError(
@@ -329,7 +376,9 @@ def run_perf(
             # whichever mode consistently ran first (or last).
             for mode in modes[rnd % len(modes) :] + modes[: rnd % len(modes)]:
                 samples[mode].append(
-                    _run_once(circuit, scale, seed, mode, workers, executor)
+                    _run_once(
+                        circuit, scale, seed, mode, workers, executor, shard
+                    )
                 )
 
         def best(mode: str) -> ModeSample:
@@ -348,7 +397,7 @@ def run_perf(
             )
             if include_phases:
                 sample.phases, sample.phases_route_all_s = _phase_split(
-                    circuit, scale, seed, mode, workers, executor
+                    circuit, scale, seed, mode, workers, executor, shard
                 )
             return sample
 
@@ -365,6 +414,8 @@ def run_perf(
             runs = samples["parallel"]
             idx = min(range(len(runs)), key=lambda i: runs[i].wall_s)
             wl.parallel_stats = runs[idx].parallel_stats
+        if include_probe:
+            wl.auto_probe = _probe_auto_decision(circuit, scale, seed, shard)
         results.append(wl)
         if verbose:
             line = (
@@ -394,6 +445,10 @@ def run_perf(
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
+            # Parallel samples are meaningless without knowing how many
+            # cores the box had — a 1.0x "speedup" on one core is the
+            # expected result, not a regression.
+            "cpus": os.cpu_count() or 1,
         },
         "provenance": collect_provenance(),
         "config": {
@@ -404,6 +459,8 @@ def run_perf(
             "observability": "off",
             "timing": "interleaved, best-of-rounds",
             "workers": workers,
+            "executor": executor,
+            "shard": shard,
         },
         "workloads": [wl.to_dict() for wl in results],
     }
@@ -431,9 +488,56 @@ def run_perf(
             if wl.expansion_reduction is not None
         ]
         summary["geomean_expansion_reduction"] = round(_geo(reductions), 4)
+    pspeedups = [
+        wl.parallel_speedup for wl in results if wl.parallel_speedup is not None
+    ]
+    if pspeedups:
+        summary["geomean_parallel_speedup"] = round(_geo(pspeedups), 4)
+        summary["min_parallel_speedup"] = round(min(pspeedups), 4)
+        off_fracs = [
+            (wl.parallel_stats or {}).get("off_process_fraction")
+            for wl in results
+        ]
+        off_fracs = [f for f in off_fracs if f is not None]
+        if off_fracs:
+            summary["max_off_process_fraction"] = round(max(off_fracs), 4)
     if summary:
         payload["summary"] = summary
     return payload
+
+
+def build_tiered_payload(tiers: Dict[str, dict]) -> dict:
+    """Assemble the v2 ``BENCH_perf.json`` envelope from tier payloads.
+
+    Host and provenance are identical across tiers of one invocation, so
+    they are hoisted to the top level and dropped from the per-tier
+    payloads (each tier keeps its own ``config``, ``workloads`` and
+    ``summary``).
+    """
+    out: Dict[str, object] = {"schema": SCHEMA_TIERED, "tiers": {}}
+    for name, tier in tiers.items():
+        tier = dict(tier)
+        out.setdefault("host", tier.pop("host", {}))
+        out.setdefault("provenance", tier.pop("provenance", {}))
+        tier.pop("host", None)
+        tier.pop("provenance", None)
+        tier.pop("schema", None)
+        out["tiers"][name] = tier  # type: ignore[index]
+    return out
+
+
+def iter_tier_payloads(payload: dict):
+    """Yield ``(tier_name, flat_payload)`` for either schema version.
+
+    A v1 flat payload (or a bare ``{"workloads": [...]}`` fragment) is
+    treated as a single ``"quick"`` tier, so every consumer — the
+    equivalence gates, the phase table, the ledger recorder, the
+    baseline check — reads old and new files alike.
+    """
+    if "tiers" in payload:
+        yield from payload["tiers"].items()
+    else:
+        yield "quick", payload
 
 
 def render_phase_table(payload: dict) -> str:
@@ -446,24 +550,25 @@ def render_phase_table(payload: dict) -> str:
     """
     phases = ("search", "graph", "flip", "commit")
     header = (
-        f"{'circuit':9s} {'variant':9s} "
+        f"{'tier':6s} {'circuit':9s} {'variant':9s} "
         + " ".join(f"{p + '_s':>9s}" for p in phases)
         + f" {'other_s':>9s} {'total_s':>9s}"
     )
     lines = [header, "-" * len(header)]
-    for wl in payload.get("workloads", []):
-        for variant in ("reference", "fast", "guided", "parallel"):
-            sample = wl.get(variant)
-            if not sample or "phases_s" not in sample:
-                continue
-            split = sample["phases_s"]
-            total = sample.get("phases_route_all_s", 0.0)
-            other = max(0.0, total - sum(split.values()))
-            lines.append(
-                f"{wl['circuit']:9s} {variant:9s} "
-                + " ".join(f"{split.get(p, 0.0):9.3f}" for p in phases)
-                + f" {other:9.3f} {total:9.3f}"
-            )
+    for tier, flat in iter_tier_payloads(payload):
+        for wl in flat.get("workloads", []):
+            for variant in ("reference", "fast", "guided", "parallel"):
+                sample = wl.get(variant)
+                if not sample or "phases_s" not in sample:
+                    continue
+                split = sample["phases_s"]
+                total = sample.get("phases_route_all_s", 0.0)
+                other = max(0.0, total - sum(split.values()))
+                lines.append(
+                    f"{tier:6s} {wl['circuit']:9s} {variant:9s} "
+                    + " ".join(f"{split.get(p, 0.0):9.3f}" for p in phases)
+                    + f" {other:9.3f} {total:9.3f}"
+                )
     return "\n".join(lines)
 
 
@@ -477,21 +582,24 @@ def check_parallel_equivalence(payload: dict) -> List[str]:
     list of problems (empty = pass).
     """
     problems: List[str] = []
-    for wl in payload.get("workloads", []):
-        par = wl.get("parallel")
-        if par is None:
-            continue
-        fast = wl["fast"]
-        if par["routability_pct"] != fast["routability_pct"]:
-            problems.append(
-                f"{wl['circuit']}: parallel routability "
-                f"{par['routability_pct']} != sequential {fast['routability_pct']}"
-            )
-        if par["overlay_units"] != fast["overlay_units"]:
-            problems.append(
-                f"{wl['circuit']}: parallel overlay {par['overlay_units']} "
-                f"!= sequential {fast['overlay_units']}"
-            )
+    for tier, flat in iter_tier_payloads(payload):
+        for wl in flat.get("workloads", []):
+            par = wl.get("parallel")
+            if par is None:
+                continue
+            fast = wl["fast"]
+            if par["routability_pct"] != fast["routability_pct"]:
+                problems.append(
+                    f"{tier}/{wl['circuit']}: parallel routability "
+                    f"{par['routability_pct']} != sequential "
+                    f"{fast['routability_pct']}"
+                )
+            if par["overlay_units"] != fast["overlay_units"]:
+                problems.append(
+                    f"{tier}/{wl['circuit']}: parallel overlay "
+                    f"{par['overlay_units']} != sequential "
+                    f"{fast['overlay_units']}"
+                )
     return problems
 
 
@@ -504,22 +612,24 @@ def check_guidance_equivalence(payload: dict) -> List[str]:
     unguided one. Returns a list of problems (empty = pass).
     """
     problems: List[str] = []
-    for wl in payload.get("workloads", []):
-        guided = wl.get("guided")
-        if guided is None:
-            continue
-        fast = wl["fast"]
-        for metric in ("routability_pct", "overlay_units", "searches"):
-            if guided[metric] != fast[metric]:
+    for tier, flat in iter_tier_payloads(payload):
+        for wl in flat.get("workloads", []):
+            guided = wl.get("guided")
+            if guided is None:
+                continue
+            fast = wl["fast"]
+            for metric in ("routability_pct", "overlay_units", "searches"):
+                if guided[metric] != fast[metric]:
+                    problems.append(
+                        f"{tier}/{wl['circuit']}: guided {metric} "
+                        f"{guided[metric]} != unguided {fast[metric]}"
+                    )
+            if guided["expansions"] > fast["expansions"]:
                 problems.append(
-                    f"{wl['circuit']}: guided {metric} {guided[metric]} "
-                    f"!= unguided {fast[metric]}"
+                    f"{tier}/{wl['circuit']}: guided expansions "
+                    f"{guided['expansions']} > unguided {fast['expansions']} "
+                    "(pruning must never add work)"
                 )
-        if guided["expansions"] > fast["expansions"]:
-            problems.append(
-                f"{wl['circuit']}: guided expansions {guided['expansions']} "
-                f"> unguided {fast['expansions']} (pruning must never add work)"
-            )
     return problems
 
 
@@ -535,22 +645,27 @@ def check_against_baseline(
     are skipped — the gate checks what both runs measured.
     """
     problems: List[str] = []
-    base_by_circuit = {
-        wl["circuit"]: wl for wl in baseline.get("workloads", [])
-    }
+    base_tiers = dict(iter_tier_payloads(baseline))
     checked = 0
-    for wl in current.get("workloads", []):
-        base = base_by_circuit.get(wl["circuit"])
-        if base is None or "speedup" not in wl or "speedup" not in base:
+    for tier, flat in iter_tier_payloads(current):
+        base_flat = base_tiers.get(tier)
+        if base_flat is None:
             continue
-        checked += 1
-        floor = base["speedup"] * (1.0 - tolerance)
-        if wl["speedup"] < floor:
-            problems.append(
-                f"{wl['circuit']}: speedup {wl['speedup']:.2f}x is below "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x minus "
-                f"{tolerance:.0%} tolerance)"
-            )
+        base_by_circuit = {
+            wl["circuit"]: wl for wl in base_flat.get("workloads", [])
+        }
+        for wl in flat.get("workloads", []):
+            base = base_by_circuit.get(wl["circuit"])
+            if base is None or "speedup" not in wl or "speedup" not in base:
+                continue
+            checked += 1
+            floor = base["speedup"] * (1.0 - tolerance)
+            if wl["speedup"] < floor:
+                problems.append(
+                    f"{tier}/{wl['circuit']}: speedup {wl['speedup']:.2f}x "
+                    f"is below {floor:.2f}x (baseline {base['speedup']:.2f}x "
+                    f"minus {tolerance:.0%} tolerance)"
+                )
     if checked == 0:
         problems.append("no overlapping workloads between run and baseline")
     return problems
@@ -572,71 +687,125 @@ def record_to_ledger(
     from ..obs.ledger import Ledger, diff_runs, make_record
 
     problems: List[str] = []
-    config_base = dict(payload.get("config", {}))
-    config_base.pop("workloads", None)
-    config_base.pop("scales", None)
     with Ledger(ledger_dir) as ledger:
-        for wl in payload.get("workloads", []):
-            fast = wl["fast"]
-            workload = f"{wl['circuit']}@{wl['scale']}"
-            record = make_record(
-                "bench-perf",
-                workload,
-                {**config_base, "scale": wl["scale"], "seed": wl["seed"]},
-                outcome="ok",
-                wall_s=fast["route_all_s"],
-                phases=dict(fast.get("phases_s", {})),
-                counters={
-                    "astar_nodes_expanded_total": float(fast["expansions"]),
-                    "astar_searches_total": float(fast["searches"]),
-                },
-                parallel_decision=(wl.get("parallel_stats") or {}).get(
-                    "decision_trace"
-                ),
-                meta={
-                    "speedup": wl.get("speedup"),
-                    "guidance_speedup": wl.get("guidance_speedup"),
-                    "parallel_speedup": wl.get("parallel_speedup"),
-                },
-            )
-            baseline = (
-                ledger.latest(
-                    workload=workload,
-                    config_hash=record.config_hash,
-                    command="bench-perf",
+        for _tier, flat in iter_tier_payloads(payload):
+            config_base = dict(flat.get("config", {}))
+            config_base.pop("workloads", None)
+            config_base.pop("scales", None)
+            for wl in flat.get("workloads", []):
+                fast = wl["fast"]
+                workload = f"{wl['circuit']}@{wl['scale']}"
+                record = make_record(
+                    "bench-perf",
+                    workload,
+                    {**config_base, "scale": wl["scale"], "seed": wl["seed"]},
                     outcome="ok",
+                    wall_s=fast["route_all_s"],
+                    phases=dict(fast.get("phases_s", {})),
+                    counters={
+                        "astar_nodes_expanded_total": float(fast["expansions"]),
+                        "astar_searches_total": float(fast["searches"]),
+                    },
+                    parallel_decision=(wl.get("parallel_stats") or {}).get(
+                        "decision_trace"
+                    ),
+                    meta={
+                        "speedup": wl.get("speedup"),
+                        "guidance_speedup": wl.get("guidance_speedup"),
+                        "parallel_speedup": wl.get("parallel_speedup"),
+                    },
                 )
-                if gate
-                else None
-            )
-            ledger.record(record)
-            if baseline is not None:
-                diff = diff_runs(baseline, record)
-                if diff.verdict == "regression":
-                    rows = ", ".join(
-                        f"{row.section}:{row.name} {row.a:.4g} -> {row.b:.4g}"
-                        for row in diff.regressions
+                baseline = (
+                    ledger.latest(
+                        workload=workload,
+                        config_hash=record.config_hash,
+                        command="bench-perf",
+                        outcome="ok",
                     )
-                    problems.append(
-                        f"{workload}: regression vs {baseline.run_id}: {rows}"
-                    )
+                    if gate
+                    else None
+                )
+                ledger.record(record)
+                if baseline is not None:
+                    diff = diff_runs(baseline, record)
+                    if diff.verdict == "regression":
+                        rows = ", ".join(
+                            f"{row.section}:{row.name} "
+                            f"{row.a:.4g} -> {row.b:.4g}"
+                            for row in diff.regressions
+                        )
+                        problems.append(
+                            f"{workload}: regression vs "
+                            f"{baseline.run_id}: {rows}"
+                        )
     return problems
+
+
+def check_full_tier_engaged(payload: dict) -> List[str]:
+    """Gate: the full tier must engage (or predict) a non-serial mode.
+
+    A workload counts as engaged when its timed parallel run used the
+    sharded mode or recorded a non-serial auto decision, *or* when its
+    ``auto_decision_probe`` says ``workers="auto"`` would pick one. The
+    probe matters on explicit-worker runs (auto fields stay empty) and
+    keeps the gate meaningful: a full tier where every probe says
+    "serial" means the sharding heuristics regressed. Returns problems
+    (empty = at least one workload engaged).
+    """
+    tiers = dict(iter_tier_payloads(payload))
+    flat = tiers.get("full")
+    if flat is None:
+        return ["no full tier in payload (run with --tier full or both)"]
+    engaged = []
+    for wl in flat.get("workloads", []):
+        stats = wl.get("parallel_stats") or {}
+        probe = wl.get("auto_decision_probe") or {}
+        if (
+            stats.get("mode") == "sharded"
+            or stats.get("auto_decision") not in (None, "", "serial")
+            or probe.get("decision") not in (None, "serial")
+        ):
+            engaged.append(wl["circuit"])
+    if not engaged:
+        return [
+            "every full-tier workload resolved (and would resolve) to "
+            "serial — sharding never engages"
+        ]
+    return []
 
 
 def _decision_lines(payload: dict) -> List[str]:
     """Human-readable ``--workers auto`` rationale per workload."""
     lines: List[str] = []
-    for wl in payload.get("workloads", []):
-        trace = (wl.get("parallel_stats") or {}).get("decision_trace")
-        if not trace:
-            continue
-        lines.append(
-            f"{wl['circuit']}: parallel decision = {trace.get('decision', '?')}"
-            f" — {trace.get('reason', '')}"
-            f" (scanned {trace.get('candidates_scanned', 0)},"
-            f" halo rejects {trace.get('halo_rejects', 0)},"
-            f" {trace.get('multi_net_batches', 0)} multi-net batches)"
-        )
+    for tier, flat in iter_tier_payloads(payload):
+        for wl in flat.get("workloads", []):
+            trace = (wl.get("parallel_stats") or {}).get("decision_trace")
+            probe = wl.get("auto_decision_probe")
+            if trace:
+                line = (
+                    f"{wl['circuit']}: parallel decision = "
+                    f"{trace.get('decision', '?')}"
+                    f" — {trace.get('reason', '')}"
+                )
+                if trace.get("decision") == "sharded" or "shard_nets" in trace:
+                    line += (
+                        f" (grid {trace.get('shard_shard_grid', '?')},"
+                        f" {trace.get('shard_interior_nets', 0)} interior /"
+                        f" {trace.get('shard_boundary_nets', 0)} boundary)"
+                    )
+                else:
+                    line += (
+                        f" (scanned {trace.get('candidates_scanned', 0)},"
+                        f" halo rejects {trace.get('halo_rejects', 0)},"
+                        f" {trace.get('multi_net_batches', 0)} multi-net"
+                        " batches)"
+                    )
+                lines.append(line)
+            elif probe:
+                lines.append(
+                    f"{wl['circuit']}: auto would pick "
+                    f"{probe.get('decision', '?')} — {probe.get('reason', '')}"
+                )
     return lines
 
 
@@ -697,6 +866,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker pool kind for the parallel runs",
     )
     parser.add_argument(
+        "--shard",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="region sharding for the parallel runs: auto (engage when "
+        "the plan clears the interior-net bar), on (force, minimal 2x2 "
+        "tiling if needed), off (PR-3 batch scheduler only)",
+    )
+    parser.add_argument(
+        "--tier",
+        choices=("quick", "full", "both"),
+        default="quick",
+        help="quick = the small default workloads; full = Test5-Test10 "
+        "at sharding-relevant scales (fast+parallel only); both = the "
+        "two-tier BENCH_perf.json payload",
+    )
+    parser.add_argument(
+        "--full-workers",
+        type=_parse_workers,
+        default="auto",
+        metavar="N",
+        help="worker count for the full tier's parallel runs (or 'auto')",
+    )
+    parser.add_argument(
+        "--require-engaged",
+        action="store_true",
+        help="fail unless at least one full-tier workload engages (or "
+        "would engage) a non-serial parallel mode — the 'is sharding "
+        "real on this host' gate",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail if the full tier's geomean parallel speedup is below X",
+    )
+    parser.add_argument(
         "--check",
         default=None,
         help="baseline BENCH_perf.json to gate speedup regressions against",
@@ -727,47 +933,116 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
-    scales = {
-        c: min(s * args.scale_mult, 1.0) for c, s in DEFAULT_SCALES.items()
-    }
-    payload = run_perf(
-        workloads=workloads,
-        scales=scales,
-        seed=args.seed,
-        rounds=args.rounds,
-        include_reference=not args.no_reference,
-        include_guidance=not args.no_guidance,
-        include_phases=not args.no_phases,
-        workers=args.workers,
-        executor=args.executor,
-    )
-    if not args.no_guidance:
+    explicit_workloads = args.workloads != ",".join(DEFAULT_WORKLOADS)
+    tiers: Dict[str, dict] = {}
+    if args.tier in ("quick", "both"):
+        scales = {
+            c: min(s * args.scale_mult, 1.0) for c, s in DEFAULT_SCALES.items()
+        }
+        print(f"== quick tier ({', '.join(workloads)}) ==")
+        tiers["quick"] = run_perf(
+            workloads=workloads,
+            scales=scales,
+            seed=args.seed,
+            rounds=args.rounds,
+            include_reference=not args.no_reference,
+            include_guidance=not args.no_guidance,
+            include_phases=not args.no_phases,
+            workers=args.workers,
+            executor=args.executor,
+            shard=args.shard,
+        )
+    if args.tier in ("full", "both"):
+        # The full tier measures the parallel question only — fast vs
+        # parallel on sharding-sized instances; reference/guidance A/Bs
+        # and the instrumented phase split stay in the quick tier.
+        full_workloads = (
+            workloads if explicit_workloads else list(FULL_TIER_WORKLOADS)
+        )
+        full_scales = {
+            c: min(s * args.scale_mult, 1.0)
+            for c, s in FULL_TIER_SCALES.items()
+        }
+        print(f"== full tier ({', '.join(full_workloads)}) ==")
+        tiers["full"] = run_perf(
+            workloads=full_workloads,
+            scales=full_scales,
+            seed=args.seed,
+            rounds=args.rounds,
+            include_reference=False,
+            include_guidance=False,
+            include_phases=False,
+            workers=args.full_workers,
+            executor=args.executor,
+            shard=args.shard,
+            include_probe=True,
+        )
+    payload = build_tiered_payload(tiers)
+    if "quick" in tiers and not args.no_guidance:
         g_problems = check_guidance_equivalence(payload)
         if g_problems:
             for problem in g_problems:
                 print(f"GUIDANCE MISMATCH: {problem}", file=sys.stderr)
             return 1
         print("guidance on/off equivalence: OK")
-    if _wants_parallel(args.workers):
+    ran_parallel = ("quick" in tiers and _wants_parallel(args.workers)) or (
+        "full" in tiers and _wants_parallel(args.full_workers)
+    )
+    if ran_parallel:
         eq_problems = check_parallel_equivalence(payload)
         if eq_problems:
             for problem in eq_problems:
                 print(f"PARALLEL MISMATCH: {problem}", file=sys.stderr)
             return 1
-        print(f"parallel equivalence at --workers {args.workers}: OK")
-        for line in _decision_lines(payload):
-            print(line)
-    summary = payload.get("summary", {})
-    if "geomean_speedup" in summary:
-        print(
-            f"geomean speedup {summary['geomean_speedup']:.2f}x "
-            f"(min {summary['min_speedup']:.2f}x)"
+        print("parallel equivalence vs sequential: OK")
+    for line in _decision_lines(payload):
+        print(line)
+    for tier_name, flat in tiers.items():
+        summary = flat.get("summary", {})
+        if "geomean_speedup" in summary:
+            print(
+                f"[{tier_name}] geomean speedup "
+                f"{summary['geomean_speedup']:.2f}x "
+                f"(min {summary['min_speedup']:.2f}x)"
+            )
+        if "geomean_guidance_speedup" in summary:
+            print(
+                f"[{tier_name}] geomean guidance speedup "
+                f"{summary['geomean_guidance_speedup']:.2f}x "
+                f"(min {summary['min_guidance_speedup']:.2f}x, "
+                f"{summary['geomean_expansion_reduction']:.1f}x fewer "
+                "expansions)"
+            )
+        if "geomean_parallel_speedup" in summary:
+            print(
+                f"[{tier_name}] geomean parallel speedup "
+                f"{summary['geomean_parallel_speedup']:.2f}x "
+                f"(min {summary['min_parallel_speedup']:.2f}x, "
+                f"max off-process fraction "
+                f"{summary.get('max_off_process_fraction', 0.0):.2f})"
+            )
+    if args.require_engaged:
+        problems = check_full_tier_engaged(payload)
+        if problems:
+            for problem in problems:
+                print(f"NOT ENGAGED: {problem}", file=sys.stderr)
+            return 1
+        print("full tier parallel engagement: OK")
+    if args.min_parallel_speedup is not None:
+        geo = tiers.get("full", {}).get("summary", {}).get(
+            "geomean_parallel_speedup"
         )
-    if "geomean_guidance_speedup" in summary:
+        if geo is None or geo < args.min_parallel_speedup:
+            print(
+                f"PARALLEL SPEEDUP: full-tier geomean "
+                f"{geo if geo is not None else 'n/a'} is below the "
+                f"required {args.min_parallel_speedup}",
+                file=sys.stderr,
+            )
+            return 1
         print(
-            f"geomean guidance speedup {summary['geomean_guidance_speedup']:.2f}x "
-            f"(min {summary['min_guidance_speedup']:.2f}x, "
-            f"{summary['geomean_expansion_reduction']:.1f}x fewer expansions)"
+            f"full tier geomean parallel speedup {geo:.2f}x >= "
+            f"{args.min_parallel_speedup}"
         )
     if args.phase_table:
         print(render_phase_table(payload))
@@ -794,7 +1069,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"LEDGER REGRESSION: {problem}", file=sys.stderr)
             return 1
         gate_note = " (gated vs prior records)" if args.ledger_gate else ""
-        print(f"ledger: {len(payload['workloads'])} records appended{gate_note}")
+        recorded = sum(
+            len(flat.get("workloads", []))
+            for _, flat in iter_tier_payloads(payload)
+        )
+        print(f"ledger: {recorded} records appended{gate_note}")
     return 0
 
 

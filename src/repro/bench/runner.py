@@ -93,6 +93,7 @@ def run_cell(
     seed: int = 2014,
     store: Optional[Any] = None,
     workers: int = 1,
+    shard: str = "auto",
     router_options: Optional[Dict[str, Any]] = None,
 ) -> BenchRow:
     """Route one (circuit, router) table cell through the staged pipeline.
@@ -110,6 +111,7 @@ def run_cell(
         seed=seed,
         router=router,
         workers=workers,
+        shard=shard,
         router_options=dict(router_options) if router_options else None,
     )
     before = phase_totals()
@@ -128,12 +130,14 @@ def run_proposed(
 ) -> BenchRow:
     """Route a benchmark with the proposed overlay-aware router."""
     workers = router_kwargs.pop("workers", 1)
+    shard = router_kwargs.pop("shard", "auto")
     return run_cell(
         spec,
         router="ours",
         scale=scale,
         seed=seed,
         workers=workers,
+        shard=shard,
         router_options=router_kwargs or None,
     )
 

@@ -93,6 +93,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         num_layers=args.layers,
         workers=args.workers,
         guidance=args.guidance,
+        shard=args.shard,
     )
     with observed_command(args, command="route", netlist=args.netlist) as oc:
         pipe = Pipeline(config, store=MemoryStore())
@@ -181,6 +182,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             router=args.router,
             workers=args.workers,
             guidance=args.guidance,
+            shard=args.shard,
             cache_dir=args.cache_dir,
         )
     if design.lower().startswith("test"):
@@ -192,6 +194,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             router=args.router,
             workers=args.workers,
             guidance=args.guidance,
+            shard=args.shard,
             cache_dir=args.cache_dir,
         )
     raise ReproError(
@@ -217,7 +220,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ):
         if args.router == "ours":
             row = run_proposed(
-                spec, scale=args.scale, seed=args.seed, workers=args.workers
+                spec,
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
+                shard=args.shard,
             )
         else:
             factory = {
@@ -329,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--layers", type=int, default=3, help="routing layers (default 3)")
     _add_output_flags(route)
     _add_workers_flag(route)
+    _add_shard_flag(route)
     _add_guidance_flag(route)
     _add_obs_flags(route)
     route.set_defaults(func=_cmd_route)
@@ -361,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flag(prun)
     _add_output_flags(prun)
     _add_workers_flag(prun)
+    _add_shard_flag(prun)
     _add_guidance_flag(prun)
     _add_obs_flags(prun)
     prun.set_defaults(func=_cmd_pipeline_run)
@@ -381,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     pshow.add_argument(
         "--router", choices=("ours", "gao-pan", "cut16", "du"), default="ours"
     )
-    pshow.set_defaults(workers=1, guidance="auto")
+    pshow.set_defaults(workers=1, guidance="auto", shard="auto")
     _add_cache_flag(pshow)
     pshow.set_defaults(func=_cmd_pipeline_show)
 
@@ -400,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="which router to run",
     )
     _add_workers_flag(bench)
+    _add_shard_flag(bench)
     _add_obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
 
@@ -487,6 +497,18 @@ def _add_workers_flag(sub_parser: argparse.ArgumentParser) -> None:
         help="route independent nets in parallel with N workers, or "
         "'auto' to let the batch scheduler predict whether batching "
         "pays (results are bit-identical to --workers 1 either way)",
+    )
+
+
+def _add_shard_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--shard",
+        choices=("off", "auto", "on"),
+        default="auto",
+        help="region-sharded parallel routing: partition the die into "
+        "halo-separated tiles and route interior nets off the main "
+        "process (bit-identical results in every mode; 'auto' engages "
+        "only when enough nets are tile-interior)",
     )
 
 

@@ -31,12 +31,13 @@ class PipelineConfig:
     benchmark name, ``Test1``..``Test10``, instantiated at ``scale`` with
     ``seed``).
 
-    ``workers`` and ``guidance`` deliberately do **not** enter any stage
-    hash: parallel batch routing is bit-identical to sequential routing
-    (see ``repro.router.parallel``) and guided search is bit-identical
-    to unguided search (see ``repro.router.guidance``), so the same
-    design routed with different worker counts or guidance modes shares
-    one routing artifact.
+    ``workers``, ``guidance`` and ``shard`` deliberately do **not**
+    enter any stage hash: parallel batch routing and region-sharded
+    routing are bit-identical to sequential routing (see
+    ``repro.router.parallel``) and guided search is bit-identical to
+    unguided search (see ``repro.router.guidance``), so the same design
+    routed with different worker counts, shard modes or guidance modes
+    shares one routing artifact.
     """
 
     # --- design source ------------------------------------------------- #
@@ -54,6 +55,7 @@ class PipelineConfig:
     router: str = "ours"
     workers: Any = 1
     guidance: str = "auto"
+    shard: str = "auto"
     order: str = "hpwl"
     alpha: float = 1.0
     beta: float = 1.0
@@ -96,6 +98,10 @@ class PipelineConfig:
         if self.guidance not in ("off", "auto", "on"):
             raise PipelineError(
                 f"guidance must be 'off', 'auto' or 'on', got {self.guidance!r}"
+            )
+        if self.shard not in ("off", "auto", "on"):
+            raise PipelineError(
+                f"shard must be 'off', 'auto' or 'on', got {self.shard!r}"
             )
 
     def cost_params(self) -> CostParams:

@@ -40,6 +40,7 @@ _CONFIG_KEYS = (
     "router",
     "workers",
     "guidance",
+    "shard",
 )
 
 

@@ -190,6 +190,7 @@ class RouteStage(Stage):
                 "order": config.order,
                 "workers": config.workers,
                 "guidance": config.guidance,
+                "shard": config.shard,
             }
             kwargs.update(options)
             router = SadpRouter(grid, netlist, **kwargs)

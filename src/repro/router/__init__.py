@@ -18,8 +18,10 @@ from .astar import (
 )
 from .guidance import future_cost_map, prune_threshold
 from .overlay_cache import OverlayCostCache, overlay_cost_grid, probe_cell
-from .parallel import BatchScheduler, ParallelRouter, ParallelStats
+from .parallel import BatchScheduler, ParallelRouter, ParallelStats, ShardedRouter
+from .pool import InlineShardPool, SharedOccupancy, WorkerPool
 from .result import NetRoute, RoutingResult
+from .sharding import ShardGrid, ShardPlan, plan_shards, should_shard
 from .sadp_router import SadpRouter
 from .trace import RouterTrace, TraceEvent
 from .io import load_result, save_result
@@ -40,6 +42,14 @@ __all__ = [
     "BatchScheduler",
     "ParallelRouter",
     "ParallelStats",
+    "ShardedRouter",
+    "ShardGrid",
+    "ShardPlan",
+    "plan_shards",
+    "should_shard",
+    "SharedOccupancy",
+    "InlineShardPool",
+    "WorkerPool",
     "NetRoute",
     "RoutingResult",
     "SadpRouter",

@@ -29,6 +29,7 @@ halo only tunes the speculation hit rate.
 from __future__ import annotations
 
 import concurrent.futures
+import queue as queue_mod
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -43,9 +44,7 @@ from .astar import (
     solve_subproblem,
 )
 from .cost import CostParams
-
-#: Overlay probes read occupancy up to 2 tracks away (Eq. 5's type 2-b).
-OVERLAY_PAD = 2
+from .sharding import OVERLAY_PAD, ShardGrid, ShardPlan, assign_streams
 
 #: ``workers="auto"``: minimum predicted batched-net fraction below which
 #: the run stays serial — with most nets routing sequentially anyway, the
@@ -269,24 +268,41 @@ def make_executor(kind: str, workers: int):
 
 @dataclass
 class ParallelStats:
-    """What the batch router did — exported into ``BENCH_perf.json``."""
+    """What the parallel engine did — exported into ``BENCH_perf.json``.
+
+    One stats object serves all three execution modes: ``"batch"``
+    (PR-3 halo-disjoint batches), ``"sharded"`` (region shards on the
+    persistent pool) and ``"serial"`` (the auto decision declined both).
+    """
 
     workers: int = 0
     executor: str = ""
+    mode: str = "batch"
     batches: int = 0
     batched_nets: int = 0
     sequential_nets: int = 0
     hits: int = 0
     fallbacks: int = 0
     fallback_reasons: Dict[str, int] = field(default_factory=dict)
-    #: ``workers="auto"`` outcome: "" (explicit workers), "serial" or
-    #: "parallel", plus the scheduler's predicted batched-net fraction.
+    #: ``workers="auto"`` outcome: "" (explicit workers), "serial",
+    #: "parallel" (batch) or "sharded", plus the predicted fractions the
+    #: decision weighed (-1 = that predictor was not consulted).
     auto_decision: str = ""
     predicted_batched_fraction: float = -1.0
+    predicted_interior_fraction: float = -1.0
     #: Live scheduler scan totals (queue positions examined and
     #: halo-conflict rejections across every pick of the run).
     candidates_scanned: int = 0
     halo_rejects: int = 0
+    #: Sharded mode: the plan geometry, net classification counts, and
+    #: how many accepted nets were actually computed in worker processes
+    #: (the "off the main process" figure the bench gates on).
+    shard_plan: Dict[str, object] = field(default_factory=dict)
+    interior_nets: int = 0
+    boundary_nets: int = 0
+    off_process_nets: int = 0
+    #: Results computed per pool worker (all outcomes, accepted or not).
+    pool_utilization: Dict[str, int] = field(default_factory=dict)
     #: Structured serial-vs-parallel rationale (the ``parallel_decision``
     #: trace event's attributes); empty for explicit worker counts.
     decision_trace: Dict[str, object] = field(default_factory=dict)
@@ -295,10 +311,16 @@ class ParallelStats:
     def mean_batch_size(self) -> float:
         return self.batched_nets / self.batches if self.batches else 0.0
 
+    @property
+    def off_process_fraction(self) -> float:
+        total = self.hits + self.fallbacks + self.sequential_nets
+        return self.off_process_nets / total if total else 0.0
+
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "workers": self.workers,
             "executor": self.executor,
+            "mode": self.mode,
             "batches": self.batches,
             "batched_nets": self.batched_nets,
             "sequential_nets": self.sequential_nets,
@@ -309,11 +331,23 @@ class ParallelStats:
             "candidates_scanned": self.candidates_scanned,
             "halo_rejects": self.halo_rejects,
         }
+        if self.mode == "sharded":
+            payload["shard_plan"] = dict(self.shard_plan)
+            payload["interior_nets"] = self.interior_nets
+            payload["boundary_nets"] = self.boundary_nets
+            payload["off_process_nets"] = self.off_process_nets
+            payload["off_process_fraction"] = round(self.off_process_fraction, 3)
+            payload["pool_utilization"] = dict(self.pool_utilization)
         if self.auto_decision:
             payload["auto_decision"] = self.auto_decision
-            payload["predicted_batched_fraction"] = round(
-                self.predicted_batched_fraction, 3
-            )
+            if self.predicted_batched_fraction >= 0.0:
+                payload["predicted_batched_fraction"] = round(
+                    self.predicted_batched_fraction, 3
+                )
+            if self.predicted_interior_fraction >= 0.0:
+                payload["predicted_interior_fraction"] = round(
+                    self.predicted_interior_fraction, 3
+                )
         if self.decision_trace:
             payload["decision_trace"] = dict(self.decision_trace)
         return payload
@@ -504,6 +538,348 @@ class ParallelRouter:
         backend and already recorded live: folding would double-count.
         """
         if self.executor_kind != "process" or res.obs_digest is None:
+            return
+        ob = obs.get_active()
+        if ob is None:
+            return
+        for name, count, total_s in res.obs_digest.get("spans", ()):
+            if count:
+                ob.tracer.record_external(
+                    name, total_s, count=count, net_id=net.net_id
+                )
+        for name, labels, amount in res.obs_digest.get("counters", ()):
+            if amount:
+                ob.registry.counter(name, **dict(labels)).inc(amount)
+
+    def _fallback(self, net: Net, result, reason: str) -> None:
+        self.stats.fallbacks += 1
+        self.stats.fallback_reasons[reason] = (
+            self.stats.fallback_reasons.get(reason, 0) + 1
+        )
+        obs.counter_inc("parallel_fallbacks_total", reason=reason)
+        result.routes[net.net_id] = self.router.route_net(net)
+
+
+# ---------------------------------------------------------------------- #
+# Region-sharded routing (the active decomposition; see repro.router.sharding)
+# ---------------------------------------------------------------------- #
+
+
+class _ShardDirtyTracker:
+    """Full-cell grid change listener, bucketed by shard tile.
+
+    Chain validation needs *cell-level* dirt (a worker's chain assumed
+    specific cells, not whole columns) and per-net lookups must not scan
+    every commit of the run — so changed ``(layer, x, y)`` cells are
+    bucketed by the tile that contains them. A net's read window lies
+    inside a single tile by construction, so validation scans exactly
+    one bucket: the boundary paths and unclean writes that landed in
+    that tile, typically a few hundred cells.
+    """
+
+    def __init__(self, grid: ShardGrid) -> None:
+        self._grid = grid
+        self.buckets: Dict[int, Set[Tuple[int, int, int]]] = {}
+        self.reset = False
+
+    def on_cells_changed(self, cells: Iterable[Tuple[int, int, int]]) -> None:
+        shard_of = self._grid.shard_of
+        buckets = self.buckets
+        for cell in cells:
+            sid = shard_of(cell[1], cell[2])
+            bucket = buckets.get(sid)
+            if bucket is None:
+                bucket = buckets[sid] = set()
+            bucket.add(cell)
+
+    def on_grid_reset(self) -> None:
+        self.reset = True
+
+
+class ShardedRouter:
+    """Drives one routing pass with region shards on a persistent pool.
+
+    Setup: publish the occupancy snapshot to shared memory, split the
+    plan's shards round-robin over workers, and submit each worker one
+    :class:`~repro.router.pool.ShardStreamTask` — its shards' interior
+    nets merged in canonical order. Workers chain-solve their streams
+    against private tile snapshots while the main process consumes nets
+    strictly in canonical order: boundary nets route live (the
+    sequential reconciliation pass), interior nets await their worker
+    result.
+
+    A result for net *i* (read window ``W``, shard ``s``) is accepted
+    only when the worker's view of ``W`` provably matches the live grid:
+
+    * every cell of ``W`` that changed since the snapshot (tracked by
+      :class:`_ShardDirtyTracker`) was written by a *cleanly accepted*
+      chain predecessor of ``s`` — a net whose speculative path was
+      committed verbatim (success, zero rip-ups, no eviction), so the
+      worker's local application of it equals the live commit; and
+    * no *unclean* chain predecessor (one whose speculative path was
+      rejected, or accepted but then re-routed by the rip-up loop)
+      assumed cells inside ``W`` — the worker baked a path into its tile
+      that the live grid does not hold.
+
+    Anything else falls back to a live sequential route of that net —
+    discarding speculation is always safe — so committed results are
+    bit-identical to ``workers=1`` for every worker count, pool kind and
+    timing. Engine counters and obs digests of accepted results are
+    folded exactly like the batch router's.
+    """
+
+    #: Seconds of pool silence tolerated before a liveness check; after
+    #: :data:`STALL_LIMIT_S` of total silence the pass degrades to live
+    #: routing for every net still owed a result.
+    POLL_TIMEOUT_S = 1.0
+    STALL_LIMIT_S = 600.0
+
+    def __init__(
+        self,
+        router,
+        workers: int,
+        plan: ShardPlan,
+        executor: str = "process",
+    ) -> None:
+        if plan.grid is None:
+            raise ValueError("sharded routing needs a plan with a shard grid")
+        self.router = router
+        self.workers = max(1, int(workers))
+        self.plan = plan
+        self.pool_kind = "process" if executor == "process" else "inline"
+        self.stats = ParallelStats(
+            workers=self.workers,
+            executor=f"shard-{self.pool_kind}",
+            mode="sharded",
+            shard_plan=plan.to_dict(),
+            interior_nets=plan.interior_nets,
+            boundary_nets=plan.boundary_nets,
+        )
+        # Consumption-side state, (re)built per route() call.
+        self._buffered: Dict[int, SubproblemResult] = {}
+        self._received: Set[int] = set()
+        self._dead_nets: Set[int] = set()
+        self._dead_seen: Set[int] = set()
+        self._net_worker: Dict[int, int] = {}
+        self._stream_nets: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def route(self, ordered: Sequence[Net], result) -> None:
+        """Route ``ordered`` into ``result.routes``, in canonical order."""
+        from .pool import (
+            InlineShardPool,
+            ShardNetSpec,
+            ShardStreamTask,
+            SharedOccupancy,
+            WorkerPool,
+        )
+
+        router = self.router
+        plan = self.plan
+        emit_decision_event(self.stats.decision_trace)
+        order_index = {net.net_id: i for i, net in enumerate(ordered)}
+        interior: Dict[int, Tuple[int, Bounds]] = {}
+        for sid, members in plan.interior.items():
+            for net, win in members:
+                interior[net.net_id] = (sid, win)
+
+        tracker = _ShardDirtyTracker(plan.grid)
+        shared = SharedOccupancy(router.grid)
+        pool = (
+            WorkerPool(self.workers)
+            if self.pool_kind == "process"
+            else InlineShardPool(self.workers)
+        )
+        clean: Dict[int, Set[Tuple[int, int, int]]] = {}
+        unclean: Dict[int, Set[Tuple[int, int, int]]] = {}
+        try:
+            desc = shared.descriptor()
+            engine = router.engine
+            streams = assign_streams(plan, self.workers)
+            for wi, sids in enumerate(streams):
+                specs = [
+                    ShardNetSpec(
+                        net_id=net.net_id,
+                        shard_id=sid,
+                        sources=[
+                            (net.source.layer, p) for p in net.source.candidates
+                        ],
+                        targets=[
+                            (net.target.layer, p) for p in net.target.candidates
+                        ],
+                    )
+                    for sid in sids
+                    for net, _ in plan.interior[sid]
+                ]
+                specs.sort(key=lambda spec: order_index[spec.net_id])
+                for spec in specs:
+                    self._net_worker[spec.net_id] = wi
+                self._stream_nets[wi] = [spec.net_id for spec in specs]
+                pool.submit(
+                    wi,
+                    ShardStreamTask(
+                        descriptor=desc,
+                        tiles={
+                            sid: plan.grid.tile_bounds(sid) for sid in sids
+                        },
+                        nets=specs,
+                        die_width=router.grid.width,
+                        die_height=router.grid.height,
+                        horizontal=list(engine._horizontal),
+                        params=router.params,
+                        overlay_terms=engine._overlay_terms,
+                        use_reference=bool(engine.use_reference),
+                        guidance=engine.guidance,
+                        guidance_trigger=engine.guidance_trigger,
+                        guidance_min_cells=engine.guidance_min_cells,
+                    ),
+                )
+            obs.counter_inc("shard_streams_total", len(streams))
+            # Listen from here on: the snapshot is already published and
+            # nothing routed yet, so "dirty" means "changed since the
+            # workers' view" exactly.
+            router.grid.add_change_listener(tracker)
+            for net in ordered:
+                entry = interior.get(net.net_id)
+                if entry is None:
+                    self.stats.sequential_nets += 1
+                    result.routes[net.net_id] = router.route_net(net)
+                    continue
+                sid, win = entry
+                res = self._await(net.net_id, pool)
+                if res is None:
+                    self._fallback(net, result, "worker_died")
+                    continue
+                if res.outcome in ("window_exceeded", "stale_generation", "error"):
+                    # The worker applied nothing for these outcomes, so
+                    # the shard's chain state is unaffected.
+                    self._fallback(net, result, res.outcome)
+                    continue
+                if not self._region_clean(sid, win, tracker, clean, unclean):
+                    self._fallback(net, result, "chain_broken")
+                    if res.outcome == "found":
+                        unclean.setdefault(sid, set()).update(res.nodes)
+                    continue
+                self._accept(net, sid, res, result, clean, unclean)
+        finally:
+            try:
+                router.grid.remove_change_listener(tracker)
+            except Exception:
+                pass
+            pool.close()
+            shared.close()
+            for wi, count in sorted(self.stats.pool_utilization.items()):
+                obs.counter_inc(
+                    "shard_pool_results_total", count, worker=str(wi)
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def _await(self, net_id: int, pool) -> Optional[SubproblemResult]:
+        """Drain the result queue until ``net_id`` arrives (or its worker
+        dies); other nets' results are buffered for their turn."""
+        if net_id in self._buffered:
+            return self._buffered.pop(net_id)
+        idle_s = 0.0
+        while True:
+            if net_id in self._dead_nets:
+                return None
+            try:
+                msg = pool.get(timeout=self.POLL_TIMEOUT_S)
+            except queue_mod.Empty:
+                idle_s += self.POLL_TIMEOUT_S
+                for wi in pool.dead_workers():
+                    if wi in self._dead_seen:
+                        continue
+                    self._dead_seen.add(wi)
+                    self._dead_nets.update(
+                        nid
+                        for nid in self._stream_nets.get(wi, ())
+                        if nid not in self._received
+                    )
+                if idle_s >= self.STALL_LIMIT_S:
+                    # Total stall: give up on everything still owed.
+                    for nets in self._stream_nets.values():
+                        self._dead_nets.update(
+                            nid for nid in nets if nid not in self._received
+                        )
+                continue
+            idle_s = 0.0
+            if not hasattr(msg, "result"):  # StreamDone
+                continue
+            res = msg.result
+            if res.net_id in self._received:
+                continue
+            self._received.add(res.net_id)
+            wi = self._net_worker.get(res.net_id, -1)
+            key = str(wi)
+            self.stats.pool_utilization[key] = (
+                self.stats.pool_utilization.get(key, 0) + 1
+            )
+            if res.net_id == net_id:
+                return res
+            self._buffered[res.net_id] = res
+
+    def _region_clean(
+        self,
+        sid: int,
+        win: Bounds,
+        tracker: _ShardDirtyTracker,
+        clean: Dict[int, Set[Tuple[int, int, int]]],
+        unclean: Dict[int, Set[Tuple[int, int, int]]],
+    ) -> bool:
+        """Does the worker's view of ``win`` match the live grid?"""
+        if tracker.reset:
+            return False
+        xlo, xhi, ylo, yhi = win
+        known = clean.get(sid, ())
+        for cell in tracker.buckets.get(sid, ()):
+            if xlo <= cell[1] <= xhi and ylo <= cell[2] <= yhi:
+                if cell not in known:
+                    return False
+        for cell in unclean.get(sid, ()):
+            if xlo <= cell[1] <= xhi and ylo <= cell[2] <= yhi:
+                return False
+        return True
+
+    def _accept(
+        self,
+        net: Net,
+        sid: int,
+        res: SubproblemResult,
+        result,
+        clean: Dict[int, Set[Tuple[int, int, int]]],
+        unclean: Dict[int, Set[Tuple[int, int, int]]],
+    ) -> None:
+        router = self.router
+        self.stats.hits += 1
+        if self.pool_kind == "process":
+            self.stats.off_process_nets += 1
+        obs.counter_inc("parallel_hits_total", outcome=res.outcome)
+        router.engine.total_searches += res.engine_searches
+        router.engine.total_expansions += res.engine_expansions
+        router.engine.total_guided_searches += res.engine_guided_searches
+        router.engine.total_guidance_builds += res.engine_guidance_builds
+        self._fold_obs_digest(net, res)
+        evictions_before = len(router._evicted_routes)
+        route = router.route_net(net, precomputed=res.to_precomputed())
+        result.routes[net.net_id] = route
+        if res.outcome == "found":
+            # Clean = the speculative path was committed verbatim, so the
+            # worker's local application of it matches the live grid.
+            committed_verbatim = (
+                route.success
+                and route.ripups == 0
+                and len(router._evicted_routes) == evictions_before
+            )
+            target = clean if committed_verbatim else unclean
+            target.setdefault(sid, set()).update(res.nodes)
+
+    def _fold_obs_digest(self, net: Net, res: SubproblemResult) -> None:
+        """Same contract as :meth:`ParallelRouter._fold_obs_digest`:
+        process-pool digests are replayed, inline pools recorded live."""
+        if self.pool_kind != "process" or res.obs_digest is None:
             return
         ob = obs.get_active()
         if ob is None:

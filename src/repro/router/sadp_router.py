@@ -64,6 +64,7 @@ class SadpRouter:
         workers=1,
         executor: str = "process",
         guidance: str = "auto",
+        shard: str = "auto",
     ) -> None:
         self.grid = grid
         self.netlist = netlist
@@ -86,6 +87,18 @@ class SadpRouter:
         if guidance not in ("off", "auto", "on"):
             raise ValueError(f"unknown guidance mode: {guidance!r}")
         self.guidance = guidance
+        #: Region-sharded routing ("off" | "auto" | "on") — with multiple
+        #: workers, "auto" prefers the active shard decomposition over
+        #: the passive batch scheduler whenever the shard plan clears the
+        #: engagement bar; "on" forces it (minimal 2x2 tiling if needed);
+        #: "off" keeps the PR-3 batch path. Bit-identical results for
+        #: every value — see repro.router.sharding.
+        if shard not in ("off", "auto", "on"):
+            raise ValueError(f"unknown shard mode: {shard!r}")
+        self.shard = shard
+        #: ShardPlan computed by :meth:`_resolve_workers` when the run
+        #: goes sharded (reused by dispatch to avoid re-planning).
+        self._shard_plan = None
         #: ParallelStats of the last route_all (None for sequential runs).
         self.parallel_stats = None
         #: ``workers="auto"`` rationale dict (the ``parallel_decision``
@@ -210,8 +223,23 @@ class SadpRouter:
     def _route_all(self) -> RoutingResult:
         result = RoutingResult()
         ordered = list(self.netlist.ordered_for_routing(self.order))
-        workers, auto_choice = self._resolve_workers(ordered)
-        if workers > 1 and len(ordered) > 1:
+        workers, mode, auto_choice = self._resolve_workers(ordered)
+        if mode == "sharded" and len(ordered) > 1:
+            from .parallel import ShardedRouter
+
+            runner = ShardedRouter(
+                self,
+                workers=workers,
+                plan=self._shard_plan,
+                executor=self.executor,
+            )
+            if auto_choice is not None:
+                runner.stats.auto_decision = auto_choice[0]
+                runner.stats.predicted_interior_fraction = auto_choice[1]
+            runner.stats.decision_trace = self._auto_rationale or {}
+            runner.route(ordered, result)
+            self.parallel_stats = runner.stats
+        elif mode == "batch" and workers > 1 and len(ordered) > 1:
             from .parallel import ParallelRouter
 
             runner = ParallelRouter(
@@ -230,6 +258,7 @@ class SadpRouter:
                 self.parallel_stats = ParallelStats(
                     workers=1,
                     executor="serial",
+                    mode="serial",
                     auto_decision=auto_choice[0],
                     predicted_batched_fraction=auto_choice[1],
                     decision_trace=self._auto_rationale or {},
@@ -283,24 +312,54 @@ class SadpRouter:
         return result
 
     def _resolve_workers(self, ordered: Sequence[Net]):
-        """Concrete worker count for this run, plus the auto decision.
+        """Concrete worker count, parallel mode, and the auto decision.
 
-        ``workers="auto"`` dry-runs the batch scheduler over the ordered
-        queue: when too few nets would actually land in parallel batches
-        (small or congested workloads, where batching overhead loses to
-        the sequential flow), the run falls back to serial. Returns
-        ``(workers, None)`` for explicit settings and
-        ``(workers, (decision, predicted_fraction))`` for auto.
+        Returns ``(workers, mode, auto_choice)`` where ``mode`` is
+        ``"sharded"`` (region decomposition, repro.router.sharding) or
+        ``"batch"`` (PR-3 halo-disjoint batching; also the label for the
+        plain sequential flow when ``workers`` resolves to 1), and
+        ``auto_choice`` is ``None`` for explicit worker settings or
+        ``(decision, predicted_fraction)`` for ``workers="auto"``.
+
+        ``workers="auto"`` dry-runs the shard planner first — the active
+        decomposition engages whenever the plan clears the interior-net
+        bar (:func:`~repro.router.sharding.should_shard`) — and only then
+        the batch scheduler; when neither predicts enough off-main-process
+        work, the run stays serial. Both dry-runs are pure geometry over
+        pin windows and their evidence lands in ``_auto_rationale``.
         """
         if self.workers != "auto":
             self._auto_rationale = None
-            return self.workers, None
+            workers = self.workers
+            if self.shard == "off" or len(ordered) < 2 or (
+                workers <= 1 and self.shard != "on"
+            ):
+                return workers, "batch", None
+            from .sharding import plan_shards, should_shard
+
+            plan = plan_shards(
+                ordered,
+                self.params.search_margin,
+                self.grid.width,
+                self.grid.height,
+                force=(self.shard == "on"),
+            )
+            if self.shard == "on" or should_shard(plan):
+                self._shard_plan = plan
+                return workers, "sharded", None
+            return workers, "batch", None
         import os
 
         from .parallel import (
             AUTO_MIN_BATCHED_FRACTION,
             BatchScheduler,
             predict_batch_plan,
+        )
+        from .sharding import (
+            SHARD_MIN_INTERIOR_FRACTION,
+            SHARD_MIN_INTERIOR_NETS,
+            plan_shards,
+            should_shard,
         )
 
         workers = min(4, os.cpu_count() or 1)
@@ -315,7 +374,33 @@ class SadpRouter:
                     "single-core host" if workers < 2 else "netlist too small"
                 ),
             }
-            return 1, ("serial", 0.0)
+            return 1, "batch", ("serial", 0.0)
+        splan = plan_shards(
+            ordered,
+            self.params.search_margin,
+            self.grid.width,
+            self.grid.height,
+        )
+        shard_info = {
+            "shard_min_interior_fraction": SHARD_MIN_INTERIOR_FRACTION,
+            "shard_min_interior_nets": SHARD_MIN_INTERIOR_NETS,
+            **{f"shard_{k}": v for k, v in splan.to_dict().items()},
+        }
+        if self.shard != "off" and should_shard(splan):
+            fraction = splan.interior_fraction
+            self._auto_rationale = {
+                "decision": "sharded",
+                "workers_considered": workers,
+                "reason": (
+                    f"predicted interior fraction {fraction:.3f} >= "
+                    f"{SHARD_MIN_INTERIOR_FRACTION} with "
+                    f"{splan.interior_nets} interior nets >= "
+                    f"{SHARD_MIN_INTERIOR_NETS}"
+                ),
+                **shard_info,
+            }
+            self._shard_plan = splan
+            return workers, "sharded", ("sharded", fraction)
         scheduler = BatchScheduler(
             self.params,
             self.grid.rules,
@@ -336,13 +421,19 @@ class SadpRouter:
             "reason": (
                 f"predicted batched fraction {fraction:.3f} "
                 f"{'<' if decision == 'serial' else '>='} threshold "
-                f"{AUTO_MIN_BATCHED_FRACTION}"
+                f"{AUTO_MIN_BATCHED_FRACTION}; shard plan below its "
+                "engagement bar"
+                if self.shard != "off"
+                else f"predicted batched fraction {fraction:.3f} "
+                f"{'<' if decision == 'serial' else '>='} threshold "
+                f"{AUTO_MIN_BATCHED_FRACTION}; sharding disabled"
             ),
+            **shard_info,
             **plan.to_dict(),
         }
         if decision == "serial":
-            return 1, ("serial", fraction)
-        return workers, ("parallel", fraction)
+            return 1, "batch", ("serial", fraction)
+        return workers, "batch", ("parallel", fraction)
 
     def route_net(
         self,

@@ -1,0 +1,254 @@
+"""Region sharding: halo-separated tiles for active parallel routing.
+
+The PR-3 batch scheduler waits for halo-disjoint net batches to occur
+naturally at the head of the routing queue — at bench densities the
+expanded windows overlap almost always, so it never engages. Sharding
+inverts the decomposition: partition the die into a small grid of tiles,
+classify every net by whether its *entire attempt-0 read region* (the
+trunk search window plus the distance-2 overlay pad) fits inside one
+tile, and hand each tile's interior nets to a worker as one **chained
+stream** — the worker routes them in canonical order against a private
+tile snapshot, applying each found path before the next search, so nets
+of the same tile speculate against each other instead of falling back.
+
+Nets whose read region straddles a tile edge (or that have Steiner taps,
+whose extension windows depend on the found tree) are *boundary* nets:
+they route live on the main process, interleaved in canonical order —
+the deterministic sequential reconciliation pass.
+
+Everything here is pure geometry over pin coordinates: planning a shard
+layout costs one ``search_window`` per net and is run as a dry-run by
+``workers="auto"`` before any routing starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import Net
+from .astar import Bounds, search_window
+
+#: Overlay probes read occupancy up to 2 tracks away (Eq. 5's type 2-b);
+#: a net's read region is its search window grown by this pad.
+OVERLAY_PAD = 2
+
+#: ``workers="auto"``: minimum predicted interior-net fraction for the
+#: sharded mode to engage — below it, too much of the netlist routes
+#: live on the main process for the pool to pay for itself.
+SHARD_MIN_INTERIOR_FRACTION = 0.35
+
+#: ``workers="auto"``: minimum interior-net *count* — pool startup plus
+#: the shared-memory snapshot cost a few hundred milliseconds, which
+#: small workloads cannot amortise.
+SHARD_MIN_INTERIOR_NETS = 192
+
+#: Tiles narrower than this many typical read-region sides classify
+#: nearly everything as boundary; 3.2 keeps the expected interior
+#: fraction of a uniform net distribution above ~50 % per axis pair.
+TILE_WINDOW_FACTOR = 3.2
+
+#: Upper bound on tiles per axis — beyond this the boundary strips
+#: dominate and per-tile chains get too short to matter.
+MAX_TILES_PER_AXIS = 8
+
+
+def net_read_window(
+    net: Net, margin: int, width: int, height: int, pad: int = OVERLAY_PAD
+) -> Bounds:
+    """The cells a net's attempt-0 trunk search can read, absolute coords.
+
+    ``search_window`` over the source/target pin candidates (the exact
+    window the live engine uses for attempt 0 — same function, same
+    clipping) grown by the overlay pad and re-clipped to the die.
+    """
+    pts = [p for pin in (net.source, net.target) for p in pin.candidates]
+    xlo, xhi, ylo, yhi = search_window(pts, margin, width, height)
+    return (
+        max(0, xlo - pad),
+        min(width - 1, xhi + pad),
+        max(0, ylo - pad),
+        min(height - 1, yhi + pad),
+    )
+
+
+@dataclass(frozen=True)
+class ShardGrid:
+    """A cols x rows tiling of the die plane.
+
+    Tiles are ``ceil(width / cols)`` wide (the last column/row absorbs
+    the remainder), so every cell belongs to exactly one tile and
+    ``shard_of`` is a pair of integer divisions.
+    """
+
+    width: int
+    height: int
+    cols: int
+    rows: int
+
+    @property
+    def tile_w(self) -> int:
+        return -(-self.width // self.cols)
+
+    @property
+    def tile_h(self) -> int:
+        return -(-self.height // self.rows)
+
+    @property
+    def shards(self) -> int:
+        return self.cols * self.rows
+
+    def shard_of(self, x: int, y: int) -> int:
+        return (y // self.tile_h) * self.cols + (x // self.tile_w)
+
+    def tile_bounds(self, sid: int) -> Bounds:
+        col = sid % self.cols
+        row = sid // self.cols
+        return (
+            col * self.tile_w,
+            min((col + 1) * self.tile_w - 1, self.width - 1),
+            row * self.tile_h,
+            min((row + 1) * self.tile_h - 1, self.height - 1),
+        )
+
+    def shard_containing(self, bounds: Bounds) -> Optional[int]:
+        """The tile fully containing ``bounds``, or None if it straddles."""
+        a = self.shard_of(bounds[0], bounds[2])
+        b = self.shard_of(bounds[1], bounds[3])
+        return a if a == b else None
+
+
+def choose_shard_grid(
+    width: int, height: int, window_sides: Sequence[int]
+) -> Optional[ShardGrid]:
+    """Pick a tiling for the die, or None when no useful tiling exists.
+
+    The constraint is geometric: a tile must be several typical read
+    regions wide (:data:`TILE_WINDOW_FACTOR`) or almost every net
+    straddles an edge. Subject to that, more tiles means more chains to
+    spread over workers, so take the finest tiling the constraint
+    allows, capped at :data:`MAX_TILES_PER_AXIS`. Returns None unless at
+    least a 2 x 2 tiling fits — a single column or row of tiles leaves
+    one boundary strip crossing the whole die and no parallel win.
+    """
+    if not window_sides:
+        return None
+    sides = sorted(window_sides)
+    typical = sides[len(sides) // 2]
+    min_tile = max(1, int(TILE_WINDOW_FACTOR * typical))
+    cols = min(width // min_tile, MAX_TILES_PER_AXIS)
+    rows = min(height // min_tile, MAX_TILES_PER_AXIS)
+    if cols < 2 or rows < 2:
+        return None
+    return ShardGrid(width, height, cols, rows)
+
+
+@dataclass
+class ShardPlan:
+    """Deterministic net -> shard assignment for one routing pass.
+
+    ``interior[sid]`` lists the shard's nets in canonical routing order
+    (each with its read window); ``boundary`` keeps the rest, also in
+    canonical order. The plan is a pure function of the netlist and die
+    geometry — identical for any worker count, which is what makes the
+    sharded results reproducible.
+    """
+
+    grid: Optional[ShardGrid]
+    interior: Dict[int, List[Tuple[Net, Bounds]]] = field(default_factory=dict)
+    boundary: List[Net] = field(default_factory=list)
+    windows: Dict[int, Bounds] = field(default_factory=dict)
+    nets: int = 0
+
+    @property
+    def interior_nets(self) -> int:
+        return sum(len(members) for members in self.interior.values())
+
+    @property
+    def boundary_nets(self) -> int:
+        return len(self.boundary)
+
+    @property
+    def interior_fraction(self) -> float:
+        return self.interior_nets / self.nets if self.nets else 0.0
+
+    @property
+    def shards_used(self) -> int:
+        return len(self.interior)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "nets": self.nets,
+            "interior_nets": self.interior_nets,
+            "boundary_nets": self.boundary_nets,
+            "predicted_interior_fraction": round(self.interior_fraction, 3),
+            "shards_used": self.shards_used,
+        }
+        if self.grid is not None:
+            out["shard_grid"] = f"{self.grid.cols}x{self.grid.rows}"
+            out["tile"] = f"{self.grid.tile_w}x{self.grid.tile_h}"
+        return out
+
+
+def plan_shards(
+    ordered: Sequence[Net],
+    margin: int,
+    width: int,
+    height: int,
+    grid: Optional[ShardGrid] = None,
+    force: bool = False,
+) -> ShardPlan:
+    """Classify ``ordered`` (canonical routing order) into a shard plan.
+
+    A net is *interior* when it has no Steiner taps and its read window
+    (:func:`net_read_window`) lies inside a single tile; everything else
+    is boundary. With ``force=True`` and no viable heuristic tiling, a
+    minimal 2 x 2 grid is used regardless — the explicit ``shard="on"``
+    escape hatch for exercising the machinery at small scales.
+    """
+    windows: Dict[int, Bounds] = {}
+    sides: List[int] = []
+    for net in ordered:
+        win = net_read_window(net, margin, width, height)
+        windows[net.net_id] = win
+        sides.append(max(win[1] - win[0] + 1, win[3] - win[2] + 1))
+    if grid is None:
+        grid = choose_shard_grid(width, height, sides)
+    if grid is None and force:
+        grid = ShardGrid(width, height, 2, 2)
+    plan = ShardPlan(grid=grid, windows=windows, nets=len(ordered))
+    if grid is None:
+        plan.boundary = list(ordered)
+        return plan
+    for net in ordered:
+        sid = None if net.taps else grid.shard_containing(windows[net.net_id])
+        if sid is None:
+            plan.boundary.append(net)
+        else:
+            plan.interior.setdefault(sid, []).append((net, windows[net.net_id]))
+    return plan
+
+
+def should_shard(plan: ShardPlan) -> bool:
+    """``workers="auto"``: does this plan clear the engagement bar?"""
+    return (
+        plan.grid is not None
+        and plan.interior_nets >= SHARD_MIN_INTERIOR_NETS
+        and plan.interior_fraction >= SHARD_MIN_INTERIOR_FRACTION
+    )
+
+
+def assign_streams(plan: ShardPlan, workers: int) -> List[List[int]]:
+    """Deterministic shard -> worker assignment, round-robin by shard id.
+
+    Returns one list of shard ids per worker. Chains are per-shard, so
+    the committed results do not depend on this assignment (or on worker
+    count) — it only balances load. Shards are interleaved by id so
+    adjacent tiles tend to land on different workers, which smooths the
+    result stream relative to canonical consumption order.
+    """
+    sids = sorted(plan.interior)
+    streams: List[List[int]] = [[] for _ in range(max(1, workers))]
+    for i, sid in enumerate(sids):
+        streams[i % len(streams)].append(sid)
+    return [s for s in streams if s]

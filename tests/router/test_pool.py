@@ -1,0 +1,163 @@
+"""Shared-memory segment lifecycle and the persistent worker pool.
+
+These tests pin the SHM contract the sharded router relies on: the
+segment mirrors the grid occupancy exactly, generation stamps advance
+only on refresh after a real change, close unlinks the segment (no
+leaked ``/dev/shm`` entries), and a dead worker neither wedges ``close``
+nor leaks the segment.
+"""
+
+import queue
+
+import pytest
+
+from repro.geometry import Point
+from repro.grid import RoutingGrid
+from repro.router.pool import (
+    Attachment,
+    InlineShardPool,
+    ShardStreamTask,
+    SharedGridDescriptor,
+    SharedOccupancy,
+    StreamDone,
+    WorkerPool,
+)
+from repro.router.cost import CostParams
+
+
+def _empty_task(desc) -> ShardStreamTask:
+    return ShardStreamTask(
+        descriptor=desc,
+        tiles={},
+        nets=[],
+        die_width=desc.shape[1],
+        die_height=desc.shape[2],
+        horizontal=[True, False, True],
+        params=CostParams(),
+        overlay_terms=None,
+    )
+
+
+class TestSharedOccupancy:
+    def test_attach_sees_the_exact_occupancy(self):
+        grid = RoutingGrid(20, 20)
+        grid.occupy(0, Point(3, 4), 7)
+        shared = SharedOccupancy(grid)
+        try:
+            att = Attachment(shared.descriptor())
+            assert att.generation() == shared.generation
+            assert (att.occ == grid._occ).all()
+            assert att.occ[0, 3, 4] == 7
+            att.close()
+        finally:
+            shared.close()
+
+    def test_refresh_bumps_generation_only_when_dirty(self):
+        grid = RoutingGrid(20, 20)
+        shared = SharedOccupancy(grid)
+        try:
+            gen = shared.generation
+            assert shared.refresh() == gen  # clean: no bump
+            grid.occupy(1, Point(5, 5), 42)
+            assert shared.stale
+            assert shared.refresh() == gen + 1
+            att = Attachment(shared.descriptor())
+            assert att.generation() == gen + 1
+            assert att.occ[1, 5, 5] == 42
+            att.close()
+        finally:
+            shared.close()
+
+    def test_bulk_rewrite_marks_stale(self):
+        # block() is a bulk rewrite: it signals on_grid_reset, not
+        # per-cell changes
+        from repro.geometry import Rect
+
+        grid = RoutingGrid(16, 16)
+        shared = SharedOccupancy(grid)
+        try:
+            shared.refresh()
+            grid.block(0, Rect(2, 2, 6, 6))
+            assert shared.stale
+        finally:
+            shared.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        grid = RoutingGrid(12, 12)
+        shared = SharedOccupancy(grid)
+        desc = shared.descriptor()
+        shared.close()
+        shared.close()  # second close must be a no-op
+        with pytest.raises(FileNotFoundError):
+            Attachment(desc)
+
+    def test_descriptor_roundtrip(self):
+        grid = RoutingGrid(10, 14)
+        shared = SharedOccupancy(grid)
+        try:
+            desc = shared.descriptor()
+            assert isinstance(desc, SharedGridDescriptor)
+            assert tuple(desc.shape) == grid._occ.shape
+            assert desc.generation == shared.generation
+        finally:
+            shared.close()
+
+
+class TestWorkerPool:
+    def test_empty_stream_roundtrip(self):
+        grid = RoutingGrid(16, 16)
+        shared = SharedOccupancy(grid)
+        pool = WorkerPool(1)
+        try:
+            pool.submit(0, _empty_task(shared.descriptor()))
+            msg = pool.get(timeout=10.0)
+            assert isinstance(msg, StreamDone)
+            assert msg.worker == 0
+        finally:
+            pool.close()
+            shared.close()
+
+    def test_stale_generation_refused(self):
+        grid = RoutingGrid(16, 16)
+        shared = SharedOccupancy(grid)
+        pool = InlineShardPool(1)
+        try:
+            desc = shared.descriptor()
+            # a commit after the descriptor was taken: segment republished
+            grid.occupy(0, Point(1, 1), 3)
+            shared.refresh()
+            stale_desc = SharedGridDescriptor(
+                name=desc.name,
+                shape=desc.shape,
+                dtype=desc.dtype,
+                generation=desc.generation,  # the old stamp
+            )
+            pool.submit(0, _empty_task(stale_desc))
+            # zero nets: the stale stream still ends with its sentinel
+            msg = pool.get(timeout=1.0)
+            assert isinstance(msg, StreamDone)
+        finally:
+            pool.close()
+            shared.close()
+
+    def test_dead_worker_detected_and_close_does_not_hang(self):
+        grid = RoutingGrid(16, 16)
+        shared = SharedOccupancy(grid)
+        pool = WorkerPool(2)
+        try:
+            assert pool.dead_workers() == []
+            pool._procs[0].terminate()
+            pool._procs[0].join(timeout=5.0)
+            assert 0 in pool.dead_workers()
+        finally:
+            pool.close()  # must return promptly despite the corpse
+            desc = shared.descriptor()
+            shared.close()
+        # the segment is gone even though a worker died attached to it
+        with pytest.raises(FileNotFoundError):
+            Attachment(desc)
+
+    def test_inline_pool_get_raises_empty_when_drained(self):
+        pool = InlineShardPool(1)
+        with pytest.raises(queue.Empty):
+            pool.get(timeout=0.1)

@@ -92,14 +92,15 @@ class TestAutoResolution:
     def test_explicit_workers_bypass_auto(self):
         grid = RoutingGrid(20, 20)
         router = SadpRouter(grid, Netlist(), workers=3)
-        assert router._resolve_workers([]) == (3, None)
+        assert router._resolve_workers([]) == (3, "batch", None)
 
     def test_auto_serial_on_tiny_netlist(self):
         grid = RoutingGrid(20, 20)
         nets = _netlist([(2, 2, 15, 15)])
         router = SadpRouter(grid, nets, workers="auto")
-        workers, decision = router._resolve_workers(list(nets))
+        workers, mode, decision = router._resolve_workers(list(nets))
         assert workers == 1
+        assert mode == "batch"
         assert decision == ("serial", 0.0)
 
     def test_auto_parallel_on_spread_netlist(self):
@@ -110,8 +111,9 @@ class TestAutoResolution:
             [(5 + 30 * i, 5, 5 + 30 * i, 20) for i in range(4)]
         )
         router = SadpRouter(grid, nets, workers="auto")
-        workers, decision = router._resolve_workers(list(nets))
+        workers, mode, decision = router._resolve_workers(list(nets))
         assert workers >= 2
+        assert mode == "batch"  # 4 nets can never clear the shard bar
         assert decision[0] == "parallel"
         assert decision[1] >= AUTO_MIN_BATCHED_FRACTION
 
@@ -119,9 +121,28 @@ class TestAutoResolution:
         grid = RoutingGrid(40, 40)
         nets = _netlist([(10, 10 + i, 25, 10 + i) for i in range(4)])
         router = SadpRouter(grid, nets, workers="auto")
-        workers, decision = router._resolve_workers(list(nets))
+        workers, mode, decision = router._resolve_workers(list(nets))
         assert workers == 1
         assert decision[0] == "serial"
+
+    def test_explicit_workers_shard_on_forces_sharded_mode(self):
+        grid, nets = generate_benchmark(
+            spec_by_name("Test1"), scale=0.2, seed=2014
+        )
+        router = SadpRouter(grid, nets, workers=2, shard="on")
+        ordered = list(router.netlist.ordered_for_routing(router.order))
+        workers, mode, decision = router._resolve_workers(ordered)
+        assert (workers, mode, decision) == (2, "sharded", None)
+        assert router._shard_plan is not None
+        assert router._shard_plan.grid is not None
+
+    def test_shard_off_keeps_batch_mode(self):
+        grid, nets = generate_benchmark(
+            spec_by_name("Test1"), scale=0.2, seed=2014
+        )
+        router = SadpRouter(grid, nets, workers=2, shard="off")
+        ordered = list(router.netlist.ordered_for_routing(router.order))
+        assert router._resolve_workers(ordered) == (2, "batch", None)
 
 
 class TestEndToEnd:
@@ -146,14 +167,15 @@ class TestEndToEnd:
         # the decision is always recorded, serial fallback included
         stats = auto.parallel_stats
         assert stats is not None
-        assert stats.auto_decision in ("serial", "parallel")
-        assert 0.0 <= stats.predicted_batched_fraction <= 1.0
+        assert stats.auto_decision in ("serial", "parallel", "sharded")
         payload = stats.to_dict()
         assert payload["auto_decision"] == stats.auto_decision
-        assert (
-            payload["predicted_batched_fraction"]
-            == stats.predicted_batched_fraction
-        )
+        if stats.auto_decision in ("serial", "parallel"):
+            assert 0.0 <= stats.predicted_batched_fraction <= 1.0
+            assert (
+                payload["predicted_batched_fraction"]
+                == stats.predicted_batched_fraction
+            )
         if stats.auto_decision == "serial":
             assert stats.workers == 1
         else:
