@@ -39,6 +39,7 @@ from .. import obs
 from ..obs.export import phase_totals
 from ..obs.provenance import collect_provenance
 from ..router import SadpRouter
+from ..router.kernel import HAVE_NUMBA, kernel_backend_name
 from .workloads import (
     FULL_TIER_SCALES,
     FULL_TIER_WORKLOADS,
@@ -72,12 +73,17 @@ DEFAULT_WORKLOADS = ("Test1", "Test2", "Test3", "Test5", "Test6")
 
 #: Bench modes and the router configuration each one measures.
 #: ``fast`` is the unguided flat-array path (the guidance-off side of the
-#: A/B); ``guided`` enables the future-cost corridor maps.
+#: A/B); ``guided`` enables the future-cost corridor maps; ``kernel``
+#: runs the same guided configuration through the compiled search kernel
+#: (interpreted fallback when numba is absent — still bit-identical, so
+#: the equivalence gate holds either way). Every other mode pins
+#: ``kernel="python"`` so a numba install never leaks into their timing.
 _MODE_CONFIG = {
-    "reference": dict(use_reference=True, guidance="off"),
-    "fast": dict(use_reference=False, guidance="off"),
-    "guided": dict(use_reference=False, guidance="auto"),
-    "parallel": dict(use_reference=False, guidance="auto"),
+    "reference": dict(use_reference=True, guidance="off", kernel="python"),
+    "fast": dict(use_reference=False, guidance="off", kernel="python"),
+    "guided": dict(use_reference=False, guidance="auto", kernel="python"),
+    "parallel": dict(use_reference=False, guidance="auto", kernel="python"),
+    "kernel": dict(use_reference=False, guidance="auto", kernel="numba"),
 }
 
 
@@ -113,6 +119,10 @@ class ModeSample:
     #: and parallel profiles to the fast path).
     phases: Dict[str, float] = field(default_factory=dict)
     phases_route_all_s: float = 0.0
+    #: Which backend actually executed a ``kernel``-mode sample:
+    #: ``"numba"`` (compiled) or ``"interpreted"`` (numba absent, same
+    #: code run by CPython). None for every other mode.
+    kernel_backend: Optional[str] = None
 
     @property
     def expansions_per_s(self) -> float:
@@ -139,6 +149,8 @@ class ModeSample:
         if self.phases:
             out["phases_s"] = {k: round(v, 6) for k, v in self.phases.items()}
             out["phases_route_all_s"] = round(self.phases_route_all_s, 6)
+        if self.kernel_backend is not None:
+            out["kernel_backend"] = self.kernel_backend
         return out
 
 
@@ -150,6 +162,7 @@ class WorkloadResult:
     fast: ModeSample
     reference: Optional[ModeSample] = None
     guided: Optional[ModeSample] = None
+    kernel: Optional[ModeSample] = None
     parallel: Optional[ModeSample] = None
     parallel_stats: Optional[dict] = None
     #: Dry-run ``workers="auto"`` rationale for this instance — answers
@@ -177,6 +190,25 @@ class WorkloadResult:
         return self.fast.expansions / self.guided.expansions
 
     @property
+    def kernel_speedup(self) -> Optional[float]:
+        """Interpreted fast path over compiled kernel, same guidance
+        config (the ``guided`` sample when present, ``fast`` otherwise)."""
+        if self.kernel is None or self.kernel.route_all_s <= 0:
+            return None
+        base = self.guided if self.guided is not None else self.fast
+        return base.route_all_s / self.kernel.route_all_s
+
+    @property
+    def kernel_vs_reference(self) -> Optional[float]:
+        if (
+            self.kernel is None
+            or self.reference is None
+            or self.kernel.route_all_s <= 0
+        ):
+            return None
+        return self.reference.route_all_s / self.kernel.route_all_s
+
+    @property
     def parallel_speedup(self) -> Optional[float]:
         if self.parallel is None or self.parallel.route_all_s <= 0:
             return None
@@ -184,6 +216,7 @@ class WorkloadResult:
 
     def to_dict(self) -> dict:
         out = {
+            "name": self.circuit,
             "circuit": self.circuit,
             "scale": self.scale,
             "seed": self.seed,
@@ -199,6 +232,11 @@ class WorkloadResult:
             out["guided"] = self.guided.to_dict()
             out["guidance_speedup"] = round(self.guidance_speedup, 4)
             out["expansion_reduction"] = round(self.expansion_reduction, 4)
+        if self.kernel is not None:
+            out["kernel"] = self.kernel.to_dict()
+            out["kernel_speedup"] = round(self.kernel_speedup, 4)
+            if self.kernel_vs_reference is not None:
+                out["kernel_vs_reference"] = round(self.kernel_vs_reference, 4)
         if self.parallel is not None:
             out["parallel"] = self.parallel.to_dict()
             out["parallel_speedup"] = round(self.parallel_speedup, 4)
@@ -229,6 +267,7 @@ def _make_router(
         executor=executor,
         guidance=cfg["guidance"],
         shard=shard if mode == "parallel" else "auto",
+        kernel=cfg["kernel"],
     )
     router.engine.use_reference = cfg["use_reference"]
     return router
@@ -330,6 +369,7 @@ def run_perf(
     rounds: int = 3,
     include_reference: bool = True,
     include_guidance: bool = True,
+    include_kernel: bool = False,
     include_phases: bool = True,
     workers: Union[int, str] = 1,
     executor: str = "process",
@@ -343,7 +383,10 @@ def run_perf(
     of the fast path (``guided`` sample, ``guidance_speedup``,
     ``expansion_reduction``); :func:`check_guidance_equivalence` gates
     that the guided run produced identical metrics from strictly fewer
-    (or equal) expansions. With ``workers`` > 1 or ``"auto"`` each
+    (or equal) expansions. With ``include_kernel`` each workload also
+    times the compiled search kernel in the guided configuration
+    (``kernel`` sample, tagged with the executing backend);
+    :func:`check_kernel_equivalence` gates its bit-identity. With ``workers`` > 1 or ``"auto"`` each
     workload also runs through the parallel routing engine — ``shard``
     picks region sharding ("on"/"auto") vs the batch scheduler ("off")
     — and the payload grows ``parallel`` / ``parallel_speedup`` /
@@ -366,6 +409,8 @@ def run_perf(
             modes.insert(0, "reference")
         if include_guidance:
             modes.append("guided")
+        if include_kernel:
+            modes.append("kernel")
         if use_parallel:
             modes.append("parallel")
         samples: Dict[str, List[_Run]] = {m: [] for m in modes}
@@ -395,6 +440,8 @@ def run_perf(
                 guided_searches=run.guided_searches,
                 guidance_builds=run.guidance_builds,
             )
+            if mode == "kernel":
+                sample.kernel_backend = kernel_backend_name()
             if include_phases:
                 sample.phases, sample.phases_route_all_s = _phase_split(
                     circuit, scale, seed, mode, workers, executor, shard
@@ -408,6 +455,7 @@ def run_perf(
             fast=best("fast"),
             reference=best("reference") if include_reference else None,
             guided=best("guided") if include_guidance else None,
+            kernel=best("kernel") if include_kernel else None,
         )
         if use_parallel:
             wl.parallel = best("parallel")
@@ -432,6 +480,12 @@ def run_perf(
                     f", guided {wl.guided.route_all_s:.3f}s"
                     f" -> {wl.guidance_speedup:.2f}x"
                     f" ({wl.expansion_reduction:.1f}x fewer expansions)"
+                )
+            if wl.kernel is not None:
+                line += (
+                    f", kernel[{wl.kernel.kernel_backend}] "
+                    f"{wl.kernel.route_all_s:.3f}s"
+                    f" -> {wl.kernel_speedup:.2f}x"
                 )
             if wl.parallel is not None:
                 line += (
@@ -464,7 +518,7 @@ def run_perf(
         },
         "workloads": [wl.to_dict() for wl in results],
     }
-    summary: Dict[str, float] = {}
+    summary: Dict[str, object] = {}
 
     def _geo(values: List[float]) -> float:
         product = 1.0
@@ -488,6 +542,20 @@ def run_perf(
             if wl.expansion_reduction is not None
         ]
         summary["geomean_expansion_reduction"] = round(_geo(reductions), 4)
+    kspeedups = [
+        wl.kernel_speedup for wl in results if wl.kernel_speedup is not None
+    ]
+    if kspeedups:
+        summary["geomean_kernel_speedup"] = round(_geo(kspeedups), 4)
+        summary["min_kernel_speedup"] = round(min(kspeedups), 4)
+        summary["kernel_backend"] = kernel_backend_name()
+        kvr = [
+            wl.kernel_vs_reference
+            for wl in results
+            if wl.kernel_vs_reference is not None
+        ]
+        if kvr:
+            summary["geomean_kernel_vs_reference"] = round(_geo(kvr), 4)
     pspeedups = [
         wl.parallel_speedup for wl in results if wl.parallel_speedup is not None
     ]
@@ -557,7 +625,7 @@ def render_phase_table(payload: dict) -> str:
     lines = [header, "-" * len(header)]
     for tier, flat in iter_tier_payloads(payload):
         for wl in flat.get("workloads", []):
-            for variant in ("reference", "fast", "guided", "parallel"):
+            for variant in ("reference", "fast", "guided", "kernel", "parallel"):
                 sample = wl.get(variant)
                 if not sample or "phases_s" not in sample:
                     continue
@@ -630,6 +698,47 @@ def check_guidance_equivalence(payload: dict) -> List[str]:
                     f"{guided['expansions']} > unguided {fast['expansions']} "
                     "(pruning must never add work)"
                 )
+    return problems
+
+
+def check_kernel_equivalence(payload: dict) -> List[str]:
+    """Correctness gate for the compiled kernel.
+
+    The kernel runs the same guided configuration as the ``guided``
+    sample and must be bit-identical to it — same committed routes
+    (routability, overlay units), same search/expansion counts, same
+    guidance activity. When only the unguided ``fast`` sample is present
+    the comparison drops to the metrics both configurations share.
+    Returns a list of problems (empty = pass).
+    """
+    problems: List[str] = []
+    for tier, flat in iter_tier_payloads(payload):
+        for wl in flat.get("workloads", []):
+            kern = wl.get("kernel")
+            if kern is None:
+                continue
+            base = wl.get("guided")
+            if base is not None:
+                metrics = (
+                    "routability_pct",
+                    "overlay_units",
+                    "searches",
+                    "expansions",
+                    "guided_searches",
+                    "guidance_builds",
+                )
+                base_name = "guided"
+            else:
+                base = wl["fast"]
+                metrics = ("routability_pct", "overlay_units", "searches")
+                base_name = "fast"
+            for metric in metrics:
+                if kern.get(metric, 0) != base.get(metric, 0):
+                    problems.append(
+                        f"{tier}/{wl['circuit']}: kernel {metric} "
+                        f"{kern.get(metric, 0)} != {base_name} "
+                        f"{base.get(metric, 0)}"
+                    )
     return problems
 
 
@@ -844,6 +953,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the guidance-on/off A/B runs",
     )
     parser.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="skip the compiled-kernel rows (and their equivalence gate)",
+    )
+    parser.add_argument(
         "--no-phases", action="store_true", help="skip the instrumented phase split"
     )
     parser.add_argument(
@@ -947,6 +1061,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rounds=args.rounds,
             include_reference=not args.no_reference,
             include_guidance=not args.no_guidance,
+            include_kernel=not args.no_kernel,
             include_phases=not args.no_phases,
             workers=args.workers,
             executor=args.executor,
@@ -971,6 +1086,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rounds=args.rounds,
             include_reference=False,
             include_guidance=False,
+            # Full-tier instances are too large for the interpreted
+            # fallback; the kernel rows join only when numba compiles.
+            include_kernel=HAVE_NUMBA and not args.no_kernel,
             include_phases=False,
             workers=args.full_workers,
             executor=args.executor,
@@ -985,6 +1103,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"GUIDANCE MISMATCH: {problem}", file=sys.stderr)
             return 1
         print("guidance on/off equivalence: OK")
+    if not args.no_kernel:
+        k_problems = check_kernel_equivalence(payload)
+        if k_problems:
+            for problem in k_problems:
+                print(f"KERNEL MISMATCH: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"kernel equivalence vs python fast path: OK "
+            f"(backend: {kernel_backend_name()})"
+        )
     ran_parallel = ("quick" in tiers and _wants_parallel(args.workers)) or (
         "full" in tiers and _wants_parallel(args.full_workers)
     )
@@ -1012,6 +1140,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(min {summary['min_guidance_speedup']:.2f}x, "
                 f"{summary['geomean_expansion_reduction']:.1f}x fewer "
                 "expansions)"
+            )
+        if "geomean_kernel_speedup" in summary:
+            print(
+                f"[{tier_name}] geomean kernel speedup "
+                f"{summary['geomean_kernel_speedup']:.2f}x "
+                f"(min {summary['min_kernel_speedup']:.2f}x, "
+                f"backend {summary.get('kernel_backend', '?')})"
             )
         if "geomean_parallel_speedup" in summary:
             print(

@@ -94,6 +94,7 @@ def run_cell(
     store: Optional[Any] = None,
     workers: int = 1,
     shard: str = "auto",
+    kernel: str = "auto",
     router_options: Optional[Dict[str, Any]] = None,
 ) -> BenchRow:
     """Route one (circuit, router) table cell through the staged pipeline.
@@ -112,6 +113,7 @@ def run_cell(
         router=router,
         workers=workers,
         shard=shard,
+        kernel=kernel,
         router_options=dict(router_options) if router_options else None,
     )
     before = phase_totals()
@@ -131,6 +133,7 @@ def run_proposed(
     """Route a benchmark with the proposed overlay-aware router."""
     workers = router_kwargs.pop("workers", 1)
     shard = router_kwargs.pop("shard", "auto")
+    kernel = router_kwargs.pop("kernel", "auto")
     return run_cell(
         spec,
         router="ours",
@@ -138,6 +141,7 @@ def run_proposed(
         seed=seed,
         workers=workers,
         shard=shard,
+        kernel=kernel,
         router_options=router_kwargs or None,
     )
 

@@ -94,6 +94,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         workers=args.workers,
         guidance=args.guidance,
         shard=args.shard,
+        kernel=args.kernel,
     )
     with observed_command(args, command="route", netlist=args.netlist) as oc:
         pipe = Pipeline(config, store=MemoryStore())
@@ -183,6 +184,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             workers=args.workers,
             guidance=args.guidance,
             shard=args.shard,
+            kernel=args.kernel,
             cache_dir=args.cache_dir,
         )
     if design.lower().startswith("test"):
@@ -195,6 +197,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             workers=args.workers,
             guidance=args.guidance,
             shard=args.shard,
+            kernel=args.kernel,
             cache_dir=args.cache_dir,
         )
     raise ReproError(
@@ -225,6 +228,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 shard=args.shard,
+                kernel=args.kernel,
             )
         else:
             factory = {
@@ -338,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(route)
     _add_shard_flag(route)
     _add_guidance_flag(route)
+    _add_kernel_flag(route)
     _add_obs_flags(route)
     route.set_defaults(func=_cmd_route)
 
@@ -371,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(prun)
     _add_shard_flag(prun)
     _add_guidance_flag(prun)
+    _add_kernel_flag(prun)
     _add_obs_flags(prun)
     prun.set_defaults(func=_cmd_pipeline_run)
 
@@ -390,7 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     pshow.add_argument(
         "--router", choices=("ours", "gao-pan", "cut16", "du"), default="ours"
     )
-    pshow.set_defaults(workers=1, guidance="auto", shard="auto")
+    pshow.set_defaults(workers=1, guidance="auto", shard="auto", kernel="auto")
     _add_cache_flag(pshow)
     pshow.set_defaults(func=_cmd_pipeline_show)
 
@@ -410,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(bench)
     _add_shard_flag(bench)
+    _add_kernel_flag(bench)
     _add_obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
 
@@ -520,6 +527,18 @@ def _add_guidance_flag(sub_parser: argparse.ArgumentParser) -> None:
         help="future-cost corridor guidance for the A* fast path "
         "(bit-identical results in every mode; 'auto' builds the map "
         "only for searches that grow past the trigger)",
+    )
+
+
+def _add_kernel_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--kernel",
+        choices=("python", "auto", "numba"),
+        default="auto",
+        help="A* inner-loop implementation: 'python' is the interpreted "
+        "fast path, 'numba' the compiled kernel (bit-identical results; "
+        "falls back to an interpreted run of the same code when numba "
+        "is not installed), 'auto' uses the kernel iff numba imports",
     )
 
 

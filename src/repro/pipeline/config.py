@@ -31,13 +31,15 @@ class PipelineConfig:
     benchmark name, ``Test1``..``Test10``, instantiated at ``scale`` with
     ``seed``).
 
-    ``workers``, ``guidance`` and ``shard`` deliberately do **not**
-    enter any stage hash: parallel batch routing and region-sharded
-    routing are bit-identical to sequential routing (see
-    ``repro.router.parallel``) and guided search is bit-identical to
-    unguided search (see ``repro.router.guidance``), so the same design
-    routed with different worker counts, shard modes or guidance modes
-    shares one routing artifact.
+    ``workers``, ``guidance``, ``shard`` and ``kernel`` deliberately do
+    **not** enter any stage hash: parallel batch routing and
+    region-sharded routing are bit-identical to sequential routing (see
+    ``repro.router.parallel``), guided search is bit-identical to
+    unguided search (see ``repro.router.guidance``), and the compiled
+    search kernel is bit-identical to the interpreted fast path (see
+    ``repro.router.kernel``), so the same design routed with different
+    worker counts, shard modes, guidance modes or kernels shares one
+    routing artifact.
     """
 
     # --- design source ------------------------------------------------- #
@@ -56,6 +58,7 @@ class PipelineConfig:
     workers: Any = 1
     guidance: str = "auto"
     shard: str = "auto"
+    kernel: str = "auto"
     order: str = "hpwl"
     alpha: float = 1.0
     beta: float = 1.0
@@ -102,6 +105,11 @@ class PipelineConfig:
         if self.shard not in ("off", "auto", "on"):
             raise PipelineError(
                 f"shard must be 'off', 'auto' or 'on', got {self.shard!r}"
+            )
+        if self.kernel not in ("python", "auto", "numba"):
+            raise PipelineError(
+                f"kernel must be 'python', 'auto' or 'numba', "
+                f"got {self.kernel!r}"
             )
 
     def cost_params(self) -> CostParams:

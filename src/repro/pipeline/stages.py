@@ -191,6 +191,7 @@ class RouteStage(Stage):
                 "workers": config.workers,
                 "guidance": config.guidance,
                 "shard": config.shard,
+                "kernel": config.kernel,
             }
             kwargs.update(options)
             router = SadpRouter(grid, netlist, **kwargs)

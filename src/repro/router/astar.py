@@ -55,6 +55,7 @@ from .guidance import (
     future_cost_map,
     prune_threshold,
 )
+from .kernel import resolve_kernel, search_kernel
 from .overlay_cache import OverlayCostCache, overlay_cost_grid
 
 #: A search-space node: (layer, x, y).
@@ -148,6 +149,7 @@ class AStarRouter:
         overlay_cache: Optional[OverlayCostCache] = None,
         use_reference: bool = False,
         guidance: str = "off",
+        kernel: str = "python",
     ) -> None:
         self.grid = grid
         self.params = params
@@ -158,6 +160,14 @@ class AStarRouter:
         self._overlay_cache = overlay_cache
         #: Force the dict-based reference implementation.
         self.use_reference = use_reference
+        #: Which fast-path implementation runs the inner loop:
+        #: ``"python"`` (the list-based loop below), ``"numba"`` (the
+        #: compiled kernel in :mod:`repro.router.kernel`, interpreted
+        #: when numba is absent), or ``"auto"`` (kernel iff numba is
+        #: importable). All three are bit-identical; the reference path
+        #: still wins whenever it is selected.
+        self.kernel = kernel
+        self._kernel_enabled = resolve_kernel(kernel)
         #: Future-cost corridor pruning: ``"off"``, ``"on"`` (map built
         #: up front for every fast search), or ``"auto"`` (a search is
         #: upgraded in place once it crosses ``guidance_trigger``
@@ -170,6 +180,11 @@ class AStarRouter:
         #: the build. ``"on"`` ignores it (explicit opt-in).
         self.guidance_min_cells = GUIDANCE_MIN_CELLS
         self.guidance_backend = "auto"
+        #: Guidance maps built ahead of time on this engine's behalf
+        #: (the parallel batch scheduler's batched CSR solves), keyed by
+        #: the same memo key ``activate_guidance`` computes. Consumed
+        #: (popped) on activation and accounted as this engine's builds.
+        self.guidance_premaps: Optional[Dict] = None
         #: Net whose own cells are exempt from the inlined overlay probe.
         self.active_net = -1
         #: Outcome of the most recent search (see class docstring).
@@ -231,6 +246,8 @@ class AStarRouter:
             or self._penalty_cb is not None
         ):
             result = self._search_reference(request, extra_margin)
+        elif self._kernel_enabled:
+            result = self._search_kernel(request, extra_margin)
         else:
             result = self._search_fast(request, extra_margin)
         self.total_searches += 1
@@ -238,6 +255,33 @@ class AStarRouter:
         if result is not None:
             self.last_outcome = "found"
         return result
+
+    # ------------------------------------------------------------------ #
+    # Kernel path: the compiled twin of the fast path
+    # ------------------------------------------------------------------ #
+
+    def _search_kernel(
+        self, request: SearchRequest, extra_margin: int = 0
+    ) -> Optional[SearchResult]:
+        """Run the search through :mod:`repro.router.kernel`.
+
+        The kernel returns the raw ``(nodes, cost, expansions)`` triple
+        (or ``None``, with ``_last_stats``/``last_outcome`` already set
+        exactly as :meth:`_search_fast` sets them); lowering to
+        segments/vias stays here.
+        """
+        out = search_kernel(self, request, extra_margin)
+        if out is None:
+            return None
+        nodes, cost, expansions = out
+        segments, vias = self._lower(nodes)
+        return SearchResult(
+            nodes=nodes,
+            segments=segments,
+            vias=vias,
+            cost=cost,
+            expansions=expansions,
+        )
 
     # ------------------------------------------------------------------ #
     # Fast path: flat-index search state
@@ -399,12 +443,24 @@ class AStarRouter:
             bounds = (xlo, xhi, ylo, yhi)
             cache = self._overlay_cache
             memo = cache is not None and hasattr(cache, "guidance_lookup")
+            premaps = self.guidance_premaps
             dflat = None
             key = None
-            if memo:
+            if memo or premaps:
                 pen_sig = tuple(sorted(pen_map.items())) if pen_map else None
                 key = (bounds, bytes(is_target), pen_sig, self.guidance_backend)
+            if memo:
                 dflat = cache.guidance_lookup(net_id, key)
+            if dflat is None and premaps:
+                pre = premaps.pop(key, None)
+                if pre is not None:
+                    # A map the batch scheduler built ahead of time on
+                    # this search's behalf: account it as this engine's
+                    # build so folded counters equal a sequential run's.
+                    self.total_guidance_builds += 1
+                    dflat = pre.ravel().tolist()
+                    if memo:
+                        cache.guidance_store(net_id, bounds, key, dflat)
             if dflat is None:
                 # Fold the same per-cell extras the search pays (overlay
                 # grid + rip-up penalties) with identical float ops, so
@@ -944,6 +1000,14 @@ class SearchSubproblem:
     guidance: str = "off"
     guidance_trigger: int = AUTO_TRIGGER_EXPANSIONS
     guidance_min_cells: int = GUIDANCE_MIN_CELLS
+    #: Mirrors :attr:`AStarRouter.kernel` so workers run the same inner
+    #: loop the live engine would (bit-identical either way; speed only).
+    kernel: str = "python"
+    #: Optional pre-built guidance map for the trunk search, computed by
+    #: the batch scheduler's batched CSR solve: ``(key, flat_float64)``
+    #: with ``key`` the worker-side ``activate_guidance`` memo key. A
+    #: key mismatch just means the worker builds its own map.
+    guidance_premap: Optional[Tuple[object, "object"]] = None
 
 
 @dataclass
@@ -1096,9 +1160,13 @@ def solve_subproblem(sub: SearchSubproblem) -> SubproblemResult:
         overlay_cache=overlay_cache,
         use_reference=sub.use_reference,
         guidance=sub.guidance,
+        kernel=sub.kernel,
     )
     engine.guidance_trigger = sub.guidance_trigger
     engine.guidance_min_cells = sub.guidance_min_cells
+    if sub.guidance_premap is not None:
+        key, premap = sub.guidance_premap
+        engine.guidance_premaps = {key: premap}
     engine.active_net = sub.net_id
 
     # Observability digest: the worker's searches timed with plain

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..grid import CellState, Direction, RoutingGrid
 
 Bounds = Tuple[int, int, int, int]  # xlo, xhi, ylo, yhi (inclusive)
@@ -196,6 +197,7 @@ class OverlayCostCache:
         self.repaired_cells = 0
         self.guidance_hits = 0
         self.guidance_misses = 0
+        self.guidance_invalidations = 0
         grid.add_change_listener(self)
 
     # ------------------------------------------------------------------ #
@@ -224,6 +226,11 @@ class OverlayCostCache:
                         break
             for net_id in dead:
                 del self._guidance[net_id]
+            if dead:
+                self.guidance_invalidations += len(dead)
+                obs.counter_inc(
+                    "guidance_cache_invalidations_total", len(dead)
+                )
 
     def on_grid_reset(self) -> None:
         self._entries.clear()
@@ -323,8 +330,10 @@ class OverlayCostCache:
         if gent is not None and gent.key == key:
             self._guidance.move_to_end(net_id)
             self.guidance_hits += 1
+            obs.counter_inc("guidance_cache_hits_total")
             return gent.dmap
         self.guidance_misses += 1
+        obs.counter_inc("guidance_cache_misses_total")
         return None
 
     def guidance_store(

@@ -34,7 +34,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from .. import obs
+from ..geometry import Point
+from ..grid import CellState
 from ..netlist import Net
 from .astar import (
     Bounds,
@@ -44,7 +48,11 @@ from .astar import (
     solve_subproblem,
 )
 from .cost import CostParams
+from .guidance import batched_future_cost_maps
+from .overlay_cache import overlay_cost_grid
 from .sharding import OVERLAY_PAD, ShardGrid, ShardPlan, assign_streams
+
+_FREE = int(CellState.FREE)
 
 #: ``workers="auto"``: minimum predicted batched-net fraction below which
 #: the run stays serial — with most nets routing sequentially anyway, the
@@ -431,8 +439,14 @@ class ParallelRouter:
                 tracker.clear()
                 futures = {}
                 windows = {}
-                for net, win in picked:
-                    sub = self._build_subproblem(net, win)
+                subs = [(net, win, self._build_subproblem(net, win))
+                        for net, win in picked]
+                if router.engine.guidance == "on":
+                    # Every trunk search will activate guidance up front
+                    # (trigger 0), so their maps can be solved as one
+                    # batched CSR call here instead of one per worker.
+                    self._attach_guidance_premaps([s for _, _, s in subs])
+                for net, win, sub in subs:
                     futures[net.net_id] = pool.submit(solve_subproblem, sub)
                     windows[net.net_id] = win
                 self.stats.batches += 1
@@ -510,7 +524,98 @@ class ParallelRouter:
             guidance=engine.guidance,
             guidance_trigger=engine.guidance_trigger,
             guidance_min_cells=engine.guidance_min_cells,
+            kernel=engine.kernel,
         )
+
+    def _attach_guidance_premaps(self, subs: List[SearchSubproblem]) -> None:
+        """Batch the batch's trunk guidance builds into one CSR solve.
+
+        With ``guidance="on"`` every worker's trunk search activates its
+        map before the first pop, so the maps are known work at batch
+        formation time. This replicates each worker's activation inputs
+        exactly — window, target filter, folded cost grid, memo key —
+        off the frozen snapshots (``solve_subproblem`` never mutates
+        them), solves all maps in one block-diagonal
+        :func:`~repro.router.guidance.batched_future_cost_maps` call,
+        and ships each map with its subproblem. Consumption increments
+        the *worker* engine's build counter, so folded totals still
+        equal a sequential run's; a key mismatch (or an unused premap
+        after a window-guard abort) just means wasted speculative work,
+        never a wrong result. Sharded streams do not get premaps: their
+        workers mutate private tile snapshots between chained nets, so
+        occupancy at activation time is not knowable here.
+        """
+        items = []
+        slots = []  # (sub, key, local_window) per batched item
+        for sub in subs:
+            ox, oy = sub.bounds[0], sub.bounds[2]
+            num_layers, view_w, view_h = sub.occ.shape
+            margin = sub.params.search_margin
+            local_pts = [
+                Point(p.x - ox, p.y - oy)
+                for p in ([p for _, p in sub.sources] + [p for _, p in sub.targets])
+            ]
+            xlo, xhi, ylo, yhi = search_window(
+                local_pts, margin, view_w, view_h
+            )
+            wx = xhi - xlo + 1
+            wy = yhi - ylo + 1
+            if wx < 2 or wy < 2:
+                continue  # degenerate: the worker stays unguided too
+            layer_stride = wx * wy
+            is_target = np.zeros(num_layers * layer_stride, dtype=np.uint8)
+            any_target = False
+            for layer, p in sub.targets:
+                tx, ty = p.x - ox, p.y - oy
+                if not (0 <= layer < num_layers and 0 <= tx < view_w and 0 <= ty < view_h):
+                    continue
+                if sub.occ[layer, tx, ty] not in (_FREE, sub.net_id):
+                    continue
+                is_target[layer * layer_stride + (tx - xlo) * wy + (ty - ylo)] = 1
+                any_target = True
+            if not any_target:
+                continue  # the worker search returns None before activating
+            occ_win = sub.occ[:, xlo : xhi + 1, ylo : yhi + 1]
+            passable = (occ_win == _FREE) | (occ_win == sub.net_id)
+            if sub.overlay_terms is not None:
+                local_ob = None
+                if sub.overlay_bounds is not None:
+                    obx = sub.overlay_bounds
+                    local_ob = (obx[0] - ox, obx[1] - ox, obx[2] - oy, obx[3] - oy)
+                if sub.overlay_grid is not None and (xlo, xhi, ylo, yhi) == local_ob:
+                    cost_np = sub.overlay_grid
+                else:
+                    gamma, delta_tip = sub.overlay_terms
+                    cost_np = overlay_cost_grid(
+                        sub.occ,
+                        sub.horizontal,
+                        (xlo, xhi, ylo, yhi),
+                        sub.net_id,
+                        gamma,
+                        delta_tip,
+                    )
+                carr = np.array(cost_np, dtype=np.float64)
+            else:
+                carr = np.zeros((num_layers, wx, wy), dtype=np.float64)
+            # Worker engines carry no penalty_map and the default "auto"
+            # guidance backend — both enter the memo key.
+            key = ((xlo, xhi, ylo, yhi), bytes(is_target), None, "auto")
+            tmask = is_target.reshape(num_layers, wx, wy).astype(bool)
+            items.append((passable, carr, tmask))
+            slots.append((sub, key))
+        if not items:
+            return
+        params = self.router.params
+        maps = batched_future_cost_maps(
+            items,
+            self.router.engine._horizontal,
+            params.alpha,
+            params.beta,
+            params.wrong_way_factor,
+        )
+        for (sub, key), dmap in zip(slots, maps):
+            if dmap is not None:
+                sub.guidance_premap = (key, dmap.ravel())
 
     def _accept(self, net: Net, res: SubproblemResult, result) -> None:
         router = self.router
@@ -733,6 +838,7 @@ class ShardedRouter:
                         guidance=engine.guidance,
                         guidance_trigger=engine.guidance_trigger,
                         guidance_min_cells=engine.guidance_min_cells,
+                        kernel=engine.kernel,
                     ),
                 )
             obs.counter_inc("shard_streams_total", len(streams))

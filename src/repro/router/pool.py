@@ -222,6 +222,7 @@ class ShardStreamTask:
     guidance: str = "off"
     guidance_trigger: int = AUTO_TRIGGER_EXPANSIONS
     guidance_min_cells: int = GUIDANCE_MIN_CELLS
+    kernel: str = "python"
 
 
 @dataclass
@@ -281,6 +282,7 @@ def run_shard_stream(
             guidance=task.guidance,
             guidance_trigger=task.guidance_trigger,
             guidance_min_cells=task.guidance_min_cells,
+            kernel=task.kernel,
         )
         try:
             res = solve_subproblem(sub)

@@ -65,6 +65,7 @@ class SadpRouter:
         executor: str = "process",
         guidance: str = "auto",
         shard: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         self.grid = grid
         self.netlist = netlist
@@ -96,6 +97,13 @@ class SadpRouter:
         if shard not in ("off", "auto", "on"):
             raise ValueError(f"unknown shard mode: {shard!r}")
         self.shard = shard
+        #: A* inner-loop implementation ("python" | "auto" | "numba") —
+        #: "auto" runs the compiled kernel exactly when numba is
+        #: importable and the plain fast path otherwise. Bit-identical
+        #: results for every value — see repro.router.kernel.
+        if kernel not in ("python", "auto", "numba"):
+            raise ValueError(f"unknown kernel mode: {kernel!r}")
+        self.kernel = kernel
         #: ShardPlan computed by :meth:`_resolve_workers` when the run
         #: goes sharded (reused by dispatch to avoid re-planning).
         self._shard_plan = None
@@ -143,6 +151,7 @@ class SadpRouter:
             ),
             overlay_cache=self.overlay_cache,
             guidance=guidance,
+            kernel=kernel,
         )
         self._reserve_pins()
 

@@ -8,10 +8,12 @@ from repro import obs
 from repro.bench.perf import (
     check_against_baseline,
     check_guidance_equivalence,
+    check_kernel_equivalence,
     check_parallel_equivalence,
     render_phase_table,
     run_perf,
 )
+from repro.router.kernel import kernel_backend_name
 from repro.bench.runner import BenchRow, append_rows_json, rows_to_json
 
 
@@ -43,6 +45,7 @@ class TestPerfRun:
         assert payload["schema"] == "repro-bench-perf/1"
         (wl,) = payload["workloads"]
         assert wl["circuit"] == "Test1"
+        assert wl["name"] == "Test1"  # explicit name on every row
         for mode in ("fast", "reference", "guided"):
             assert wl[mode]["route_all_s"] > 0
             assert wl[mode]["expansions"] > 0
@@ -126,6 +129,88 @@ class TestPhaseSplit:
             ]
         }
         assert len(render_phase_table(payload).splitlines()) == 2
+
+
+class TestKernelBench:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_perf(
+            workloads=["Test1"],
+            scales={"Test1": 0.06},
+            rounds=1,
+            include_reference=False,
+            include_kernel=True,
+            include_phases=False,
+            verbose=False,
+        )
+
+    def test_kernel_row_fields(self, payload):
+        (wl,) = payload["workloads"]
+        kern = wl["kernel"]
+        assert kern["route_all_s"] > 0
+        assert kern["kernel_backend"] == kernel_backend_name()
+        assert "kernel_speedup" in wl
+        summary = payload["summary"]
+        assert "geomean_kernel_speedup" in summary
+        assert summary["kernel_backend"] == kernel_backend_name()
+
+    def test_kernel_matches_guided_bit_for_bit(self, payload):
+        (wl,) = payload["workloads"]
+        kern, guided = wl["kernel"], wl["guided"]
+        for metric in ("routability_pct", "overlay_units", "searches", "expansions"):
+            assert kern[metric] == guided[metric]
+        assert check_kernel_equivalence(payload) == []
+
+    def test_gate_catches_mismatch(self):
+        payload = {
+            "workloads": [
+                {
+                    "circuit": "Test1",
+                    "fast": {},
+                    "guided": {
+                        "routability_pct": 100.0,
+                        "overlay_units": 4.0,
+                        "searches": 50,
+                        "expansions": 1000,
+                    },
+                    "kernel": {
+                        "routability_pct": 100.0,
+                        "overlay_units": 5.0,
+                        "searches": 50,
+                        "expansions": 1100,
+                    },
+                }
+            ]
+        }
+        problems = check_kernel_equivalence(payload)
+        assert len(problems) == 2  # overlay + expansions diverged
+
+    def test_gate_passes_without_kernel_sample(self):
+        payload = {"workloads": [{"circuit": "Test1", "fast": {}}]}
+        assert check_kernel_equivalence(payload) == []
+
+    def test_gate_falls_back_to_fast_sample(self):
+        payload = {
+            "workloads": [
+                {
+                    "circuit": "Test1",
+                    "fast": {
+                        "routability_pct": 100.0,
+                        "overlay_units": 4.0,
+                        "searches": 50,
+                    },
+                    "kernel": {
+                        "routability_pct": 100.0,
+                        "overlay_units": 4.0,
+                        "searches": 50,
+                        # expansions may differ from *unguided* fast —
+                        # the kernel runs guided; not compared here
+                        "expansions": 900,
+                    },
+                }
+            ]
+        }
+        assert check_kernel_equivalence(payload) == []
 
 
 class TestParallelBench:
