@@ -1,0 +1,275 @@
+"""Concurrent load harness for the routing service.
+
+``repro bench load`` drives M client threads against a running service
+(or an internally-started one) with a deterministic mix of *duplicate*
+submissions (one fixed design, repeated — the multi-tenant dedup case)
+and *fresh* submissions (distinct seeds — the cold-cache case), then
+reports throughput, end-to-end latency percentiles, and the cache-hit
+ratio, as text and as machine-readable JSON::
+
+    repro bench load --clients 8 --jobs 32 --duplicates 0.5 --json -
+
+A job counts as a *cache hit* when its route stage did not execute
+(status ``hit`` or ``coalesced`` in the job's stage log) — exactly the
+"second identical submission does zero routing work" property the
+artifact store's single-flight protocol promises.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured (JSON-serialisable)."""
+
+    params: Dict[str, Any]
+    jobs: int = 0
+    ok: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    duration_s: float = 0.0
+    throughput_jobs_per_s: float = 0.0
+    latency_s: Dict[str, float] = field(default_factory=dict)
+    #: Fraction of jobs whose route stage was served from cache.
+    cache_hit_ratio: float = 0.0
+    #: Stage-level view: cached stages / all stages across all jobs.
+    stage_cache_ratio: float = 0.0
+    route_stage_runs: int = 0
+    duplicate_jobs: int = 0
+    fresh_jobs: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-bench-load/1",
+            "params": self.params,
+            "jobs": self.jobs,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "duration_s": round(self.duration_s, 6),
+            "throughput_jobs_per_s": round(self.throughput_jobs_per_s, 4),
+            "latency_s": {k: round(v, 6) for k, v in self.latency_s.items()},
+            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+            "stage_cache_ratio": round(self.stage_cache_ratio, 4),
+            "route_stage_runs": self.route_stage_runs,
+            "duplicate_jobs": self.duplicate_jobs,
+            "fresh_jobs": self.fresh_jobs,
+            "errors": self.errors[:20],
+        }
+
+    def to_text(self) -> str:
+        lat = self.latency_s
+        lines = [
+            f"load: {self.jobs} jobs ({self.duplicate_jobs} duplicate / "
+            f"{self.fresh_jobs} fresh), {self.ok} ok, {self.failed} failed",
+            f"duration {self.duration_s:.2f}s → "
+            f"{self.throughput_jobs_per_s:.2f} jobs/s",
+            (
+                f"latency p50 {lat.get('p50', 0.0):.3f}s  "
+                f"p90 {lat.get('p90', 0.0):.3f}s  "
+                f"p95 {lat.get('p95', 0.0):.3f}s  "
+                f"p99 {lat.get('p99', 0.0):.3f}s  "
+                f"max {lat.get('max', 0.0):.3f}s"
+            ),
+            (
+                f"cache-hit ratio {self.cache_hit_ratio:.0%} of jobs "
+                f"({self.stage_cache_ratio:.0%} of stages; "
+                f"{self.route_stage_runs} route-stage executions)"
+            ),
+        ]
+        if self.errors:
+            lines.append(f"first error: {self.errors[0]}")
+        return "\n".join(lines)
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[int(idx)]
+
+
+def _build_submissions(
+    jobs: int,
+    duplicate_fraction: float,
+    circuit: str,
+    scale: float,
+    seed: int,
+) -> List[Dict[str, Any]]:
+    """A deterministic duplicate/fresh interleaving (Bresenham on the
+    fraction, no RNG): duplicates all share one (circuit, scale, seed);
+    fresh jobs get distinct seeds, i.e. distinct artifacts."""
+    out: List[Dict[str, Any]] = []
+    acc = 0.0
+    for i in range(jobs):
+        acc += duplicate_fraction
+        if acc >= 1.0 - 1e-9:
+            acc -= 1.0
+            out.append(
+                {"circuit": circuit, "scale": scale, "seed": seed, "_mix": "duplicate"}
+            )
+        else:
+            out.append(
+                {
+                    "circuit": circuit,
+                    "scale": scale,
+                    "seed": seed + 1 + i,
+                    "_mix": "fresh",
+                }
+            )
+    return out
+
+
+def run_load(
+    url: Optional[str] = None,
+    clients: int = 4,
+    jobs: int = 16,
+    duplicate_fraction: float = 0.5,
+    circuit: str = "Test1",
+    scale: float = 0.1,
+    seed: int = 2014,
+    timeout_s: float = 600.0,
+    service_workers: int = 2,
+    cache_dir: Optional[str] = None,
+    tenant_per_client: bool = True,
+) -> LoadReport:
+    """Drive the mixed workload; returns the :class:`LoadReport`.
+
+    With ``url=None`` an internal service is started on a free port
+    (``service_workers`` worker processes, fresh spool) and stopped when
+    the run ends — the one-command benchmark. Each client thread
+    submits as its own tenant by default, so the duplicate traffic
+    crosses tenant boundaries exactly like production dedup would.
+    """
+    from ..service import ServiceClient
+
+    submissions = _build_submissions(
+        jobs, duplicate_fraction, circuit, scale, seed
+    )
+    params = {
+        "url": url or "(internal)",
+        "clients": clients,
+        "jobs": jobs,
+        "duplicate_fraction": duplicate_fraction,
+        "circuit": circuit,
+        "scale": scale,
+        "seed": seed,
+        "service_workers": service_workers if url is None else None,
+    }
+    service = None
+    if url is None:
+        from ..service import RoutingService
+
+        service = RoutingService(
+            port=0,
+            workers=service_workers,
+            cache_dir=cache_dir,
+            max_active_per_tenant=0,  # the harness provides the pressure
+        ).start_background()
+        url = service.url
+
+    results: List[Dict[str, Any]] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+    next_index = [0]
+
+    def client_loop(client_no: int) -> None:
+        tenant = f"client{client_no}" if tenant_per_client else "load"
+        client = ServiceClient(url, timeout_s=min(60.0, timeout_s), tenant=tenant)
+        while True:
+            with lock:
+                i = next_index[0]
+                if i >= len(submissions):
+                    return
+                next_index[0] += 1
+            sub = dict(submissions[i])
+            mix = sub.pop("_mix")
+            t0 = time.perf_counter()
+            try:
+                job = client.submit(sub)
+                snap = client.wait(job["job_id"], timeout_s=timeout_s)
+                latency = time.perf_counter() - t0
+                with lock:
+                    results.append(
+                        {"mix": mix, "latency": latency, "snap": snap}
+                    )
+            except Exception as exc:  # noqa: BLE001 - harness keeps going
+                with lock:
+                    errors.append(f"{mix} job: {exc}")
+
+    t_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_loop, args=(n,), daemon=True)
+        for n in range(max(1, clients))
+    ]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout_s)
+        duration = time.perf_counter() - t_start
+    finally:
+        if service is not None:
+            service.stop()
+
+    report = LoadReport(params=params)
+    report.jobs = len(results) + len(errors)
+    report.errors = errors
+    report.failed = len(errors)
+    report.duration_s = duration
+    latencies: List[float] = []
+    total_stages = cached_stages = 0
+    for item in results:
+        snap = item["snap"]
+        if snap["status"] == "done":
+            report.ok += 1
+        elif snap["status"] == "cancelled":
+            report.cancelled += 1
+        else:
+            report.failed += 1
+            if snap.get("error"):
+                report.errors.append(str(snap["error"]))
+        if item["mix"] == "duplicate":
+            report.duplicate_jobs += 1
+        else:
+            report.fresh_jobs += 1
+        latencies.append(item["latency"])
+        route_ran = False
+        for stage in snap.get("stages", []):
+            total_stages += 1
+            if stage["status"] in ("hit", "coalesced"):
+                cached_stages += 1
+            elif stage["stage"] == "route":
+                route_ran = True
+                report.route_stage_runs += 1
+        if snap["status"] == "done" and not route_ran:
+            report.cache_hit_ratio += 1  # numerator for now
+    done_jobs = max(1, report.ok)
+    report.cache_hit_ratio = report.cache_hit_ratio / done_jobs
+    report.stage_cache_ratio = (
+        cached_stages / total_stages if total_stages else 0.0
+    )
+    latencies.sort()
+    report.latency_s = {
+        "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p50": _percentile(latencies, 0.50),
+        "p90": _percentile(latencies, 0.90),
+        "p95": _percentile(latencies, 0.95),
+        "p99": _percentile(latencies, 0.99),
+        "max": latencies[-1] if latencies else 0.0,
+    }
+    report.throughput_jobs_per_s = (
+        report.jobs / duration if duration > 0 else 0.0
+    )
+    return report
+
+
+def report_to_json(report: LoadReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -24,12 +24,25 @@ Commands
 
 ``bench``
     Route one of the paper's benchmarks (Test1..Test10) at a given scale,
-    with the proposed router or a baseline::
+    with the proposed router or a baseline — or drive the routing service
+    with a concurrent mixed workload::
 
         python -m repro bench Test1 --scale 0.2 --router gao-pan
+        python -m repro bench load --clients 8 --jobs 32 --json -
+
+``serve``
+    The multi-tenant routing job service: an async HTTP API
+    (``POST /jobs``, event streams, artifacts, ``/metrics``) over a
+    bounded worker pool and the shared artifact store::
+
+        python -m repro serve --port 8347 --service-workers 2
 
 ``scenarios``
     Print the scenario color-rule table (the paper's Table II).
+
+``pipeline clean`` doubles as the cache GC (``--max-age-days`` /
+``--max-bytes``); every ``.repro_cache/`` default honours the
+``REPRO_CACHE_DIR`` environment variable.
 """
 
 from __future__ import annotations
@@ -145,27 +158,45 @@ def _cmd_pipeline_show(args: argparse.Namespace) -> int:
         for record in pipe.plan(targets=ALL_STAGES):
             print(record.describe())
         return 0
-    store = ArtifactStore(args.cache_dir)
+    cache_dir = _resolve_cache_dir(args)
+    store = ArtifactStore(cache_dir)
     entries = store.entries()
     if not entries:
-        print(f"{args.cache_dir}: empty")
+        print(f"{cache_dir}: empty")
         return 0
     total = 0
     for entry in entries:
         total += entry.bytes
+        hits = f"{entry.hits:4d}x" if entry.hits else "     "
         print(
-            f"{entry.kind:10s} {entry.stage:12s} {entry.bytes:10d} B  {entry.hash}"
+            f"{entry.kind:10s} {entry.stage:12s} {entry.bytes:10d} B {hits} {entry.hash}"
         )
-    print(f"{len(entries)} artifacts, {total} bytes in {args.cache_dir}")
+    print(f"{len(entries)} artifacts, {total} bytes in {cache_dir}")
     return 0
 
 
 def _cmd_pipeline_clean(args: argparse.Namespace) -> int:
     from .pipeline import ArtifactStore
 
-    count = ArtifactStore(args.cache_dir).clean()
-    print(f"removed {count} artifacts from {args.cache_dir}")
+    cache_dir = _resolve_cache_dir(args)
+    store = ArtifactStore(cache_dir)
+    if args.max_age_days is not None or args.max_bytes is not None:
+        count = store.gc(
+            max_age_days=args.max_age_days, max_bytes=args.max_bytes
+        )
+        print(f"gc removed {count} artifacts from {cache_dir}")
+        return 0
+    count = store.clean()
+    print(f"removed {count} artifacts from {cache_dir}")
     return 0
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> str:
+    """``--cache-dir`` wins; otherwise ``$REPRO_CACHE_DIR`` or the
+    ``.repro_cache`` default."""
+    from .pipeline import default_cache_dir
+
+    return getattr(args, "cache_dir", None) or default_cache_dir()
 
 
 def _pipeline_config_from_args(args: argparse.Namespace):
@@ -185,7 +216,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             guidance=args.guidance,
             shard=args.shard,
             kernel=args.kernel,
-            cache_dir=args.cache_dir,
+            cache_dir=_resolve_cache_dir(args),
         )
     if design.lower().startswith("test"):
         return PipelineConfig(
@@ -198,12 +229,69 @@ def _pipeline_config_from_args(args: argparse.Namespace):
             guidance=args.guidance,
             shard=args.shard,
             kernel=args.kernel,
-            cache_dir=args.cache_dir,
+            cache_dir=_resolve_cache_dir(args),
         )
     raise ReproError(
         f"design {design!r} is neither an existing netlist file nor a "
         f"benchmark name (Test1..Test10)"
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import RoutingService
+
+    service = RoutingService(
+        host=args.host,
+        port=args.port,
+        workers=args.service_workers,
+        cache_dir=getattr(args, "cache_dir", None),
+        spool_dir=args.spool_dir,
+        max_active_per_tenant=args.max_active_per_tenant,
+        ledger=not args.no_ledger,
+        ledger_dir=args.ledger_dir,
+    )
+    mode = (
+        f"{args.service_workers} worker processes"
+        if args.service_workers > 0
+        else "1 inline worker thread"
+    )
+    print(
+        f"routing service: cache {service.cache_dir}, spool "
+        f"{service.spool_dir}, {mode}",
+        file=sys.stderr,
+    )
+
+    service.on_listening = lambda s: print(
+        f"serving at {s.url} (POST /jobs)", file=sys.stderr
+    )
+    service.serve_forever()
+    return 0
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    from .bench.load import report_to_json, run_load
+
+    report = run_load(
+        url=args.url,
+        clients=args.clients,
+        jobs=args.jobs,
+        duplicate_fraction=args.duplicates,
+        circuit=args.load_circuit,
+        scale=args.scale,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        service_workers=args.service_workers,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    print(report.to_text())
+    if args.json:
+        text = report_to_json(report)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n", encoding="utf-8")
+            print(f"load report written to {args.json}")
+    return 0 if report.failed == 0 else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -212,6 +300,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.workloads import spec_by_name
     from .pipeline import observed_command
 
+    if args.circuit == "load":
+        return _cmd_bench_load(args)
     spec = spec_by_name(args.circuit)
     with observed_command(
         args,
@@ -400,12 +490,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flag(pshow)
     pshow.set_defaults(func=_cmd_pipeline_show)
 
-    pclean = psub.add_parser("clean", help="delete every cached artifact")
+    pclean = psub.add_parser(
+        "clean", help="delete cached artifacts (all, or by GC policy)"
+    )
+    pclean.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help="GC: drop entries not used within N days instead of wiping",
+    )
+    pclean.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="GC: evict least-recently-used entries until the store "
+        "fits B bytes",
+    )
     _add_cache_flag(pclean)
     pclean.set_defaults(func=_cmd_pipeline_clean)
 
-    bench = sub.add_parser("bench", help="run a paper benchmark")
-    bench.add_argument("circuit", help="Test1..Test10")
+    bench = sub.add_parser(
+        "bench",
+        help="run a paper benchmark, or 'load' for the service load harness",
+    )
+    bench.add_argument(
+        "circuit",
+        help="Test1..Test10, or 'load' to drive the routing service "
+        "with concurrent clients",
+    )
     bench.add_argument("--scale", type=float, default=0.15, help="instance scale (0, 1]")
     bench.add_argument("--seed", type=int, default=2014)
     bench.add_argument(
@@ -418,7 +532,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_flag(bench)
     _add_kernel_flag(bench)
     _add_obs_flags(bench)
+    load_group = bench.add_argument_group("bench load")
+    load_group.add_argument(
+        "--url",
+        default=None,
+        help="target a running service (default: start one internally)",
+    )
+    load_group.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads"
+    )
+    load_group.add_argument(
+        "--jobs", type=int, default=16, help="total jobs to submit"
+    )
+    load_group.add_argument(
+        "--duplicates",
+        type=float,
+        default=0.5,
+        help="fraction of jobs submitting the identical design (dedup mix)",
+    )
+    load_group.add_argument(
+        "--load-circuit",
+        default="Test1",
+        help="benchmark the load mix is built from (default Test1)",
+    )
+    load_group.add_argument(
+        "--timeout", type=float, default=600.0, help="per-job wait budget (s)"
+    )
+    load_group.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="worker processes for the internally-started service",
+    )
+    load_group.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the machine-readable load report ('-' for stdout)",
+    )
+    load_group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store for the internal service "
+        "(default $REPRO_CACHE_DIR or .repro_cache)",
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the routing job service (HTTP + worker pool)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8347, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes draining the job queue "
+        "(0 = one inline worker thread)",
+    )
+    serve.add_argument(
+        "--spool-dir",
+        default=None,
+        help="where submitted design texts land (default <cache>/spool)",
+    )
+    serve.add_argument(
+        "--max-active-per-tenant",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-tenant quota on queued+running jobs (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record completed jobs in the run ledger",
+    )
+    _add_cache_flag(serve)
+    _add_ledger_dir_flag(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     scen = sub.add_parser("scenarios", help="print the Table II color rules")
     scen.set_defaults(func=_cmd_scenarios)
@@ -475,8 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_cache_flag(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--cache-dir",
-        default=".repro_cache",
-        help="artifact store directory (default .repro_cache)",
+        default=None,
+        help="artifact store directory "
+        "(default .repro_cache, or $REPRO_CACHE_DIR)",
     )
 
 

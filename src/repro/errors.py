@@ -64,3 +64,13 @@ class PipelineError(ReproError):
     def __init__(self, message: str, stage: str = "") -> None:
         super().__init__(message)
         self.stage = stage
+
+
+class PipelineCancelled(PipelineError):
+    """Raised when a pipeline run observes its cancellation check between
+    stages.
+
+    Artifacts of stages that completed before the cancellation stay in
+    the store, so resubmitting the same job resumes where it stopped —
+    cancellation costs at most one in-flight stage of work.
+    """

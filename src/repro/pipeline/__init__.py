@@ -48,7 +48,7 @@ from .stages import (
     VerifyStage,
     default_stages,
 )
-from .store import ArtifactStore, MemoryStore, StoreEntry
+from .store import ArtifactStore, MemoryStore, StoreEntry, default_cache_dir
 
 __all__ = [
     "ALL_STAGES",
@@ -77,6 +77,7 @@ __all__ = [
     "VerifyArtifact",
     "VerifyStage",
     "default_stages",
+    "default_cache_dir",
     "mask_set_from_dict",
     "mask_set_to_dict",
     "observed_command",

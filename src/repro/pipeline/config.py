@@ -11,12 +11,13 @@ invalidates decompose/verify but leaves routing artifacts valid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from ..errors import PipelineError
 from ..router.cost import CostParams
 from ..units import DEFAULT_BITMAP_RESOLUTION_NM
+from .store import default_cache_dir
 
 #: Router names the route stage can instantiate (the CLI's ``--router``).
 KNOWN_ROUTERS = ("ours", "gao-pan", "cut16", "du")
@@ -72,8 +73,9 @@ class PipelineConfig:
     # --- decomposition ------------------------------------------------- #
     bitmap_resolution: int = DEFAULT_BITMAP_RESOLUTION_NM
 
-    # --- artifact store (not hashed) ----------------------------------- #
-    cache_dir: str = ".repro_cache"
+    # --- artifact store (not hashed; $REPRO_CACHE_DIR overrides the
+    # --- .repro_cache default) ----------------------------------------- #
+    cache_dir: str = field(default_factory=default_cache_dir)
 
     def validate(self) -> None:
         if (self.netlist is None) == (self.circuit is None):

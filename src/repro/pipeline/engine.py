@@ -25,14 +25,27 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
-from ..errors import PipelineError, ReproError
+from ..errors import PipelineCancelled, PipelineError, ReproError
 from .artifacts import Artifact
 from .config import PipelineConfig
 from .stages import Stage, default_stages
 from .store import ArtifactStore, MemoryStore
+
+#: Signature of a per-stage progress callback: called with structured
+#: event dicts (``{"event": "stage_start"|"stage_end", "stage": ...,
+#: "index": i, "total": n, ...}``) as the run advances. ``stage_end``
+#: events mirror the ``stage:<name>`` spans — ``status`` distinguishes an
+#: executed stage (``"run"``) from a cache hit (``"hit"``) or a
+#: single-flight coalesce (``"coalesced"``), so a supervisor can assert
+#: "the second identical job did zero route work" without parsing spans.
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+#: Cancellation check: return True to stop the run between stages (the
+#: run raises :class:`PipelineCancelled`; completed stages stay cached).
+CancelFn = Callable[[], bool]
 
 #: Run every stage (the full paper flow) when no targets are given.
 ALL_STAGES: Tuple[str, ...] = (
@@ -96,7 +109,9 @@ class PipelineRun:
 
     @property
     def cached_count(self) -> int:
-        return sum(1 for r in self.records if r.status == "hit")
+        # "coalesced" = a concurrent identical run computed it while we
+        # waited — a cache hit from this run's point of view.
+        return sum(1 for r in self.records if r.status in ("hit", "coalesced"))
 
     @property
     def executed_count(self) -> int:
@@ -216,6 +231,8 @@ class Pipeline:
         targets: Sequence[str] = ALL_STAGES,
         force: bool = False,
         context: Optional[Dict[str, Any]] = None,
+        progress: Optional[ProgressFn] = None,
+        cancel: Optional[CancelFn] = None,
     ) -> PipelineRun:
         """Execute the pipeline up to ``targets`` (plus dependencies).
 
@@ -224,9 +241,32 @@ class Pipeline:
         forced run refreshes the cache). A stage failure raises
         :class:`PipelineError` naming the stage; artifacts of completed
         stages remain cached, so the next run resumes after them.
+
+        ``progress`` receives structured per-stage events (see
+        :data:`ProgressFn`) — the hook the job service streams to
+        clients. ``cancel`` is polled between stages; when it returns
+        True the run raises :class:`PipelineCancelled` (completed stages
+        stay cached, so a resubmission resumes).
         """
         run = PipelineRun(config=self.config, context=context if context is not None else {})
-        for stage in self._needed_stages(targets):
+        needed = self._needed_stages(targets)
+        total = len(needed)
+        for index, stage in enumerate(needed):
+            if cancel is not None and cancel():
+                raise PipelineCancelled(
+                    f"run cancelled before stage '{stage.name}'",
+                    stage=stage.name,
+                )
+            if progress is not None:
+                progress(
+                    {
+                        "event": "stage_start",
+                        "stage": stage.name,
+                        "span": f"stage:{stage.name}",
+                        "index": index,
+                        "total": total,
+                    }
+                )
             inputs = {kind: run.artifacts[kind] for kind in stage.inputs}
             try:
                 record, produced = self._run_stage(stage, inputs, run.context, force)
@@ -238,7 +278,29 @@ class Pipeline:
                 ) from exc
             run.records.append(record)
             run.artifacts.update(produced)
+            if progress is not None:
+                progress(
+                    {
+                        "event": "stage_end",
+                        "stage": stage.name,
+                        "span": f"stage:{stage.name}",
+                        "index": index,
+                        "total": total,
+                        "status": record.status,
+                        "seconds": round(record.seconds, 6),
+                        "bytes": record.bytes,
+                        "hashes": dict(record.hashes),
+                    }
+                )
         return run
+
+    def _load_cached(
+        self, hashes: Dict[str, str]
+    ) -> Optional[Dict[str, Artifact]]:
+        cached = {kind: self.store.load(h) for kind, h in hashes.items()}
+        if all(art is not None for art in cached.values()):
+            return cached  # type: ignore[return-value]
+        return None
 
     def _run_stage(
         self,
@@ -251,14 +313,62 @@ class Pipeline:
             stage, {kind: art.hash for kind, art in inputs.items()}
         )
         if not force:
-            cached = {kind: self.store.load(h) for kind, h in hashes.items()}
-            if all(art is not None for art in cached.values()):
+            cached = self._load_cached(hashes)
+            if cached is not None:
                 obs.counter_inc("pipeline_cache_hits_total", stage=stage.name)
                 return (
                     StageRecord(name=stage.name, status="hit", hashes=hashes),
                     cached,
                 )
+            # Miss: coalesce with any concurrent identical run before
+            # computing. The leader executes while holding the advisory
+            # lock; followers wait it out, then re-check — the entry the
+            # leader published turns their computation into a read.
+            flight = getattr(self.store, "single_flight", None)
+            if flight is not None:
+                key = sorted(hashes.values())[0]
+                with flight(key) as leader:
+                    if not leader:
+                        cached = self._load_cached(hashes)
+                        if cached is not None:
+                            obs.counter_inc(
+                                "pipeline_singleflight_coalesced_total",
+                                stage=stage.name,
+                            )
+                            return (
+                                StageRecord(
+                                    name=stage.name,
+                                    status="coalesced",
+                                    hashes=hashes,
+                                ),
+                                cached,
+                            )
+                    else:
+                        # Double-check inside the lock: another process
+                        # may have published between our miss and the
+                        # lock acquisition.
+                        cached = self._load_cached(hashes)
+                        if cached is not None:
+                            obs.counter_inc(
+                                "pipeline_cache_hits_total", stage=stage.name
+                            )
+                            return (
+                                StageRecord(
+                                    name=stage.name, status="hit", hashes=hashes
+                                ),
+                                cached,
+                            )
+                    return self._execute_stage(stage, inputs, context, hashes)
 
+        return self._execute_stage(stage, inputs, context, hashes)
+
+    def _execute_stage(
+        self,
+        stage: Stage,
+        inputs: Dict[str, Artifact],
+        context: Dict[str, Any],
+        hashes: Dict[str, str],
+    ) -> Tuple[StageRecord, Dict[str, Artifact]]:
         t0 = time.perf_counter()
         with obs.span(f"stage:{stage.name}", stage=stage.name) as sp:
             produced = stage.run(self.config, inputs, context)

@@ -1,4 +1,4 @@
-"""Content-addressed artifact stores.
+"""Content-addressed artifact stores, safe under concurrent writers.
 
 An artifact's hash is derived from its *inputs* (stage version, upstream
 hashes, config slice — see ``engine.py``), so a store lookup answers "has
@@ -7,54 +7,149 @@ this exact computation already run?" without touching the payload.
 Two implementations share one interface:
 
 * :class:`ArtifactStore` — a ``.repro_cache/`` directory of one JSON file
-  per artifact; survives across processes and powers ``--resume``.
+  per artifact; survives across processes and powers ``--resume`` and the
+  multi-tenant routing service. Writes are **compare-and-publish**: a
+  temp-file + atomic rename only lands when the hash is still absent, so
+  N processes racing on one key leave exactly one valid entry. A derived
+  SQLite index (``index.sqlite``) carries per-entry metadata — tenant,
+  creation time, size, hit count, last use — for GC and quota accounting;
+  deleting it is safe, it rebuilds from the JSON files. Advisory file
+  locks under ``locks/`` give **single-flight** execution: concurrent
+  identical stage runs coalesce on one computing leader while followers
+  wait and then read the published result.
 * :class:`MemoryStore` — a plain dict; used where caching should stay
-  inside one process (the legacy ``repro route`` path, unit tests).
+  inside one process (the legacy ``repro route`` path, unit tests). It
+  implements the same protocol with a thread lock, so the engine code is
+  store-agnostic.
+
+Corrupt entries (half-written files from a killed writer, truncated
+JSON) are never fatal: ``load``/``entries`` skip them with a warning and
+bump the ``store_corrupt_entries_total`` counter, and the stage simply
+re-runs — republishing atomically over the damaged file.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sqlite3
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from ..errors import PipelineError
+from .. import obs
 from .artifacts import Artifact, artifact_from_record
+
+try:  # advisory locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Store record schema; bumped on breaking layout changes.
 STORE_SCHEMA = 1
 
+#: Default cache location; ``REPRO_CACHE_DIR`` overrides it (mirrors the
+#: ``REPRO_LEDGER_DIR`` idiom of the run ledger).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+INDEX_FILE = "index.sqlite"
+LOCKS_DIR = "locks"
+
+#: How long a single-flight follower waits for the leader before giving
+#: up and computing itself (a crashed leader must never wedge the store).
+SINGLE_FLIGHT_TIMEOUT_S = 600.0
+_FOLLOWER_POLL_S = 0.02
+
+
+def default_cache_dir() -> str:
+    """The artifact store directory: ``$REPRO_CACHE_DIR`` or
+    ``.repro_cache``."""
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def _warn_corrupt(path: Union[str, Path], exc: Exception) -> None:
+    obs.counter_inc("store_corrupt_entries_total")
+    warnings.warn(
+        f"skipping corrupt artifact {path} ({exc}); the stage will re-run "
+        f"and republish it",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 @dataclass
 class StoreEntry:
-    """Metadata of one cached artifact (for ``repro pipeline show``)."""
+    """Metadata of one cached artifact (for ``repro pipeline show`` and
+    the GC policy)."""
 
     kind: str
     stage: str
     hash: str
     bytes: int
     created_unix: float
+    tenant: str = ""
+    hits: int = 0
+    last_used_unix: float = 0.0
 
 
 class MemoryStore:
     """In-process artifact store (no disk I/O)."""
 
     def __init__(self) -> None:
+        import threading
+
         self._artifacts: Dict[str, Artifact] = {}
         self._stages: Dict[str, str] = {}
+        self._hits: Dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._flights: Dict[str, "threading.Lock"] = {}
 
     def has(self, hash: str) -> bool:
         return hash in self._artifacts
 
     def load(self, hash: str) -> Optional[Artifact]:
-        return self._artifacts.get(hash)
+        with self._lock:
+            art = self._artifacts.get(hash)
+            if art is not None:
+                self._hits[hash] = self._hits.get(hash, 0) + 1
+            return art
+
+    def publish(self, artifact: Artifact, stage: str, tenant: str = "") -> Tuple[int, bool]:
+        """Compare-and-publish: first writer wins, later identical writes
+        are no-ops. Returns ``(serialized bytes, newly published)``."""
+        with self._lock:
+            if artifact.hash in self._artifacts:
+                return (0, False)
+            self._artifacts[artifact.hash] = artifact
+            self._stages[artifact.hash] = stage
+            return (len(json.dumps(artifact.payload)), True)
 
     def save(self, artifact: Artifact, stage: str) -> int:
-        self._artifacts[artifact.hash] = artifact
-        self._stages[artifact.hash] = stage
-        return len(json.dumps(artifact.payload))
+        nbytes, _ = self.publish(artifact, stage)
+        return nbytes
+
+    @contextmanager
+    def single_flight(self, key: str, timeout_s: float = SINGLE_FLIGHT_TIMEOUT_S) -> Iterator[bool]:
+        """Serialize identical computations: yields ``True`` for the
+        leader (must compute + publish) and ``False`` for followers that
+        waited a leader out (re-check the cache before computing)."""
+        import threading
+
+        with self._lock:
+            lock = self._flights.setdefault(key, threading.Lock())
+        if lock.acquire(blocking=False):
+            try:
+                yield True
+            finally:
+                lock.release()
+            return
+        got = lock.acquire(timeout=timeout_s)
+        if got:
+            lock.release()
+        yield False
 
     def entries(self) -> List[StoreEntry]:
         return [
@@ -64,31 +159,141 @@ class MemoryStore:
                 hash=h,
                 bytes=len(json.dumps(art.payload)),
                 created_unix=0.0,
+                hits=self._hits.get(h, 0),
             )
             for h, art in sorted(self._artifacts.items())
         ]
 
     def clean(self) -> int:
-        count = len(self._artifacts)
-        self._artifacts.clear()
-        self._stages.clear()
-        return count
+        with self._lock:
+            count = len(self._artifacts)
+            self._artifacts.clear()
+            self._stages.clear()
+            self._hits.clear()
+            return count
 
 
 class ArtifactStore:
     """Directory-backed content-addressed store (``.repro_cache/``).
 
     Layout: one ``<hash>.json`` file per artifact holding
-    ``{"schema", "kind", "stage", "hash", "created_unix", "payload"}``.
-    Writes go through a temp file + rename so a crashed run never leaves
-    a half-written artifact that a resume would trust.
+    ``{"schema", "kind", "stage", "hash", "created_unix", "tenant",
+    "payload"}``; JSON files are the source of truth. ``index.sqlite``
+    is a derived metadata index (hit counts, tenants, sizes) that
+    rebuilds itself lazily, and ``locks/`` holds the advisory lock files
+    of the single-flight protocol. All writes are atomic (temp file +
+    rename), so a crashed run never leaves a half-written artifact that
+    a resume — or another tenant — would trust.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], tenant: str = "") -> None:
         self.root = Path(root)
+        self.tenant = tenant
+
+    # ------------------------------------------------------------------ #
+    # Paths and the metadata index
+    # ------------------------------------------------------------------ #
 
     def _path(self, hash: str) -> Path:
         return self.root / f"{hash}.json"
+
+    def _index_path(self) -> Path:
+        return self.root / INDEX_FILE
+
+    @contextmanager
+    def _index(self) -> Iterator[Optional[sqlite3.Connection]]:
+        """A short-lived index connection (fork-safe, multi-process safe);
+        yields ``None`` when the index cannot be opened — metadata is
+        best-effort, artifact files never depend on it."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            con = sqlite3.connect(str(self._index_path()), timeout=30.0)
+        except (OSError, sqlite3.Error):
+            yield None
+            return
+        try:
+            con.execute("PRAGMA busy_timeout=30000")
+            con.execute(
+                "CREATE TABLE IF NOT EXISTS artifacts ("
+                " hash TEXT PRIMARY KEY,"
+                " kind TEXT NOT NULL DEFAULT '',"
+                " stage TEXT NOT NULL DEFAULT '',"
+                " bytes INTEGER NOT NULL DEFAULT 0,"
+                " created_unix REAL NOT NULL DEFAULT 0,"
+                " tenant TEXT NOT NULL DEFAULT '',"
+                " hits INTEGER NOT NULL DEFAULT 0,"
+                " last_used_unix REAL NOT NULL DEFAULT 0)"
+            )
+            yield con
+            con.commit()
+        except sqlite3.Error:
+            try:
+                con.rollback()
+            except sqlite3.Error:
+                pass
+            # Swallow: the index is derived state; losing one metadata
+            # update must never fail a pipeline run.
+        finally:
+            con.close()
+
+    def _index_upsert(
+        self, hash: str, kind: str, stage: str, nbytes: int, created: float
+    ) -> None:
+        with self._index() as con:
+            if con is None:
+                return
+            con.execute(
+                "INSERT INTO artifacts"
+                " (hash, kind, stage, bytes, created_unix, tenant, hits,"
+                "  last_used_unix)"
+                " VALUES (?, ?, ?, ?, ?, ?, 0, ?)"
+                " ON CONFLICT(hash) DO UPDATE SET kind=excluded.kind,"
+                "  stage=excluded.stage, bytes=excluded.bytes,"
+                "  created_unix=excluded.created_unix",
+                (hash, kind, stage, nbytes, created, self.tenant, created),
+            )
+
+    def _index_hit(self, hash: str) -> None:
+        with self._index() as con:
+            if con is None:
+                return
+            con.execute(
+                "UPDATE artifacts SET hits = hits + 1, last_used_unix = ?"
+                " WHERE hash = ?",
+                (time.time(), hash),
+            )
+
+    def _index_meta(self) -> Dict[str, Tuple[str, int, float]]:
+        """hash → (tenant, hits, last_used_unix) from the index."""
+        out: Dict[str, Tuple[str, int, float]] = {}
+        if not self._index_path().is_file():
+            return out
+        with self._index() as con:
+            if con is None:
+                return out
+            try:
+                rows = con.execute(
+                    "SELECT hash, tenant, hits, last_used_unix FROM artifacts"
+                ).fetchall()
+            except sqlite3.Error:
+                return out
+            for hash, tenant, hits, last_used in rows:
+                out[str(hash)] = (str(tenant), int(hits), float(last_used))
+        return out
+
+    def _index_forget(self, hashes: List[str]) -> None:
+        if not hashes:
+            return
+        with self._index() as con:
+            if con is None:
+                return
+            con.executemany(
+                "DELETE FROM artifacts WHERE hash = ?", [(h,) for h in hashes]
+            )
+
+    # ------------------------------------------------------------------ #
+    # The store protocol
+    # ------------------------------------------------------------------ #
 
     def has(self, hash: str) -> bool:
         return self._path(hash).is_file()
@@ -99,51 +304,144 @@ class ArtifactStore:
             record = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise PipelineError(
-                f"corrupt artifact {path} — run 'repro pipeline clean' "
-                f"or delete the file ({exc})"
-            ) from None
-        if record.get("schema") != STORE_SCHEMA:
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # A killed writer on a non-atomic filesystem, or bit rot:
+            # treat as a miss so the stage re-runs and republishes.
+            _warn_corrupt(path, exc)
+            return None
+        if not isinstance(record, dict) or record.get("schema") != STORE_SCHEMA:
             # Older/newer layout: treat as a miss so the stage re-runs.
             return None
-        return artifact_from_record(record)
+        try:
+            art = artifact_from_record(record)
+        except Exception as exc:
+            _warn_corrupt(path, exc)
+            return None
+        self._index_hit(hash)
+        return art
 
-    def save(self, artifact: Artifact, stage: str) -> int:
+    def publish(self, artifact: Artifact, stage: str, tenant: str = "") -> Tuple[int, bool]:
+        """Atomic compare-and-publish.
+
+        If the hash is already present (some other process won the race)
+        the existing entry is kept untouched and ``(0, False)`` returns;
+        otherwise the record lands via temp file + rename and
+        ``(serialized bytes, True)`` returns. Content addressing makes
+        "keep the existing entry" correct: two publishes of one hash
+        carry identical payloads by construction.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(artifact.hash)
+        if path.is_file():
+            return (0, False)
+        created = time.time()
         record = {
             "schema": STORE_SCHEMA,
             "kind": artifact.kind,
             "stage": stage,
             "hash": artifact.hash,
-            "created_unix": time.time(),
+            "created_unix": created,
+            "tenant": tenant or self.tenant,
             "payload": artifact.payload,
         }
         data = json.dumps(record, sort_keys=True)
-        path = self._path(artifact.hash)
-        tmp = path.with_suffix(".json.tmp")
+        # Per-process temp name: two racing writers must not clobber each
+        # other's temp file mid-write.
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
         tmp.write_text(data, encoding="utf-8")
         tmp.replace(path)
-        return len(data)
+        self._index_upsert(
+            artifact.hash, artifact.kind, stage, len(data), created
+        )
+        return (len(data), True)
+
+    def save(self, artifact: Artifact, stage: str) -> int:
+        nbytes, _ = self.publish(artifact, stage)
+        return nbytes
+
+    # ------------------------------------------------------------------ #
+    # Single-flight
+    # ------------------------------------------------------------------ #
+
+    def _lock_path(self, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in key)
+        return self.root / LOCKS_DIR / f"{safe}.lock"
+
+    @contextmanager
+    def single_flight(self, key: str, timeout_s: float = SINGLE_FLIGHT_TIMEOUT_S) -> Iterator[bool]:
+        """Coalesce concurrent identical computations across processes.
+
+        The first process to take the advisory lock for ``key`` is the
+        *leader* (``yield True``): it computes and publishes while
+        holding the lock. Every other process is a *follower*
+        (``yield False``): it blocks until the leader releases (or
+        ``timeout_s`` elapses — a crashed leader must not wedge the
+        store), then re-checks the cache; the entry the leader published
+        turns its computation into a read. Without ``fcntl`` (non-POSIX)
+        everyone is a leader — correct, just without the dedup.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield True
+            return
+        path = self._lock_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                pass  # contended: follow below
+            else:
+                try:
+                    yield True
+                finally:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                return
+            obs.counter_inc("store_single_flight_waits_total")
+            deadline = time.monotonic() + timeout_s
+            while time.monotonic() < deadline:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    time.sleep(_FOLLOWER_POLL_S)
+                    continue
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                break
+            yield False
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------ #
+    # Listing and GC
+    # ------------------------------------------------------------------ #
 
     def entries(self) -> List[StoreEntry]:
         out: List[StoreEntry] = []
         if not self.root.is_dir():
             return out
+        meta = self._index_meta()
         for path in sorted(self.root.glob("*.json")):
             try:
                 record = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                _warn_corrupt(path, exc)
                 continue
-            if record.get("schema") != STORE_SCHEMA:
+            if not isinstance(record, dict) or record.get("schema") != STORE_SCHEMA:
                 continue
+            hash = str(record.get("hash", path.stem))
+            tenant, hits, last_used = meta.get(
+                hash, (str(record.get("tenant", "")), 0, 0.0)
+            )
             out.append(
                 StoreEntry(
                     kind=str(record.get("kind", "?")),
                     stage=str(record.get("stage", "?")),
-                    hash=str(record.get("hash", path.stem)),
+                    hash=hash,
                     bytes=path.stat().st_size,
                     created_unix=float(record.get("created_unix", 0.0)),
+                    tenant=tenant,
+                    hits=hits,
+                    last_used_unix=last_used,
                 )
             )
         return out
@@ -153,9 +451,70 @@ class ArtifactStore:
         count = 0
         if not self.root.is_dir():
             return count
+        removed: List[str] = []
         for path in self.root.glob("*.json"):
             path.unlink()
+            removed.append(path.stem)
             count += 1
-        for path in self.root.glob("*.json.tmp"):
+        for path in self.root.glob("*.tmp"):
             path.unlink()
+        locks = self.root / LOCKS_DIR
+        if locks.is_dir():
+            for path in locks.glob("*.lock"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self._index_forget(removed)
         return count
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Policy-driven garbage collection; returns entries removed.
+
+        ``max_age_days`` drops entries not used (nor created) within the
+        window; ``max_bytes`` then evicts least-recently-used entries
+        (by index hit metadata, falling back to creation time) until the
+        store fits the budget. With neither bound this is a no-op — use
+        :meth:`clean` for a full wipe.
+        """
+        if max_age_days is None and max_bytes is None:
+            return 0
+        entries = self.entries()
+        victims: List[StoreEntry] = []
+        now = time.time()
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            for e in list(entries):
+                if max(e.last_used_unix, e.created_unix) < cutoff:
+                    victims.append(e)
+                    entries.remove(e)
+        if max_bytes is not None:
+            total = sum(e.bytes for e in entries)
+            # Coldest first: least recently used, fewest hits, oldest.
+            by_lru = sorted(
+                entries,
+                key=lambda e: (
+                    max(e.last_used_unix, e.created_unix),
+                    e.hits,
+                    e.hash,
+                ),
+            )
+            for e in by_lru:
+                if total <= max_bytes:
+                    break
+                victims.append(e)
+                total -= e.bytes
+        removed: List[str] = []
+        for e in victims:
+            try:
+                self._path(e.hash).unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(e.hash)
+        self._index_forget(removed)
+        obs.counter_inc("store_gc_removed_total", amount=len(removed))
+        return len(removed)

@@ -1,0 +1,77 @@
+"""Per-tenant admission control and service counters.
+
+The service is multi-tenant: every submission carries a tenant label
+(payload ``tenant`` or ``X-Tenant`` header, ``"anon"`` by default), and
+admission is bounded per tenant so one noisy client cannot monopolise
+the worker pool. Accounting lives in a dedicated
+:class:`~repro.obs.metrics.MetricsRegistry` (never the process-global
+``repro.obs`` backend — workers use that for per-job span counting), and
+``GET /metrics`` renders it through ``repro.obs.prom``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..obs.metrics import MetricsRegistry
+
+
+class TenantQuotas:
+    """Counting semaphore per tenant plus the service metric families.
+
+    ``max_active`` bounds queued+running jobs per tenant (0 disables the
+    bound). :meth:`try_acquire` returns a rejection reason or ``None``
+    on admission; every admission must eventually be paired with one
+    :meth:`release` (on the job's terminal event).
+    """
+
+    def __init__(
+        self,
+        max_active: int = 8,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.max_active = int(max_active)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._active: Dict[str, int] = {}
+
+    def try_acquire(self, tenant: str) -> Optional[str]:
+        with self._lock:
+            active = self._active.get(tenant, 0)
+            if self.max_active > 0 and active >= self.max_active:
+                self.registry.counter(
+                    "service_jobs_rejected_total",
+                    tenant=tenant,
+                    reason="quota",
+                ).inc()
+                return (
+                    f"tenant {tenant!r} has {active} active jobs "
+                    f"(quota {self.max_active})"
+                )
+            self._active[tenant] = active + 1
+            self.registry.counter(
+                "service_jobs_submitted_total", tenant=tenant
+            ).inc()
+            self.registry.gauge(
+                "service_jobs_active", tenant=tenant
+            ).set(self._active[tenant])
+            return None
+
+    def release(self, tenant: str, status: str, seconds: float = 0.0) -> None:
+        with self._lock:
+            self._active[tenant] = max(0, self._active.get(tenant, 0) - 1)
+            self.registry.counter(
+                "service_jobs_completed_total", tenant=tenant, status=status
+            ).inc()
+            self.registry.gauge(
+                "service_jobs_active", tenant=tenant
+            ).set(self._active[tenant])
+            if seconds:
+                self.registry.histogram(
+                    "service_job_seconds", tenant=tenant
+                ).observe(seconds)
+
+    def active(self, tenant: str) -> int:
+        with self._lock:
+            return self._active.get(tenant, 0)

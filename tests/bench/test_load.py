@@ -1,0 +1,128 @@
+"""Load harness: deterministic workload mix, report math, end-to-end run."""
+
+import json
+
+from repro.bench.load import (
+    LoadReport,
+    _build_submissions,
+    _percentile,
+    report_to_json,
+    run_load,
+)
+
+
+class TestWorkloadMix:
+    def test_duplicate_fraction_is_exact_for_halves(self):
+        subs = _build_submissions(8, 0.5, "Test1", 0.1, 2014)
+        mixes = [s["_mix"] for s in subs]
+        assert mixes.count("duplicate") == 4
+        assert mixes.count("fresh") == 4
+
+    def test_duplicates_share_one_submission(self):
+        subs = _build_submissions(10, 0.3, "Test1", 0.1, 7)
+        dupes = [s for s in subs if s["_mix"] == "duplicate"]
+        fresh = [s for s in subs if s["_mix"] == "fresh"]
+        assert len({(d["circuit"], d["scale"], d["seed"]) for d in dupes}) == 1
+        assert len({f["seed"] for f in fresh}) == len(fresh)
+        assert all(f["seed"] != dupes[0]["seed"] for f in fresh)
+
+    def test_deterministic(self):
+        assert _build_submissions(16, 0.4, "Test2", 0.2, 1) == _build_submissions(
+            16, 0.4, "Test2", 0.2, 1
+        )
+
+    def test_all_fresh_and_all_duplicate_extremes(self):
+        assert all(
+            s["_mix"] == "fresh" for s in _build_submissions(5, 0.0, "T", 0.1, 1)
+        )
+        assert all(
+            s["_mix"] == "duplicate"
+            for s in _build_submissions(5, 1.0, "T", 0.1, 1)
+        )
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert _percentile([3.0], 0.99) == 3.0
+
+    def test_endpoints(self):
+        vals = [float(i) for i in range(1, 11)]
+        assert _percentile(vals, 0.0) == 1.0
+        assert _percentile(vals, 1.0) == 10.0
+        assert _percentile(vals, 0.5) in (5.0, 6.0)
+
+
+class TestReport:
+    def test_json_schema_roundtrip(self):
+        report = LoadReport(params={"jobs": 2})
+        report.jobs = 2
+        report.ok = 2
+        report.latency_s = {"p50": 0.5, "max": 1.0}
+        obj = json.loads(report_to_json(report))
+        assert obj["schema"] == "repro-bench-load/1"
+        assert obj["ok"] == 2
+        assert obj["latency_s"]["p50"] == 0.5
+
+    def test_text_mentions_cache_ratio(self):
+        report = LoadReport(params={})
+        report.cache_hit_ratio = 0.5
+        assert "cache-hit ratio 50%" in report.to_text()
+
+
+class TestEndToEnd:
+    def test_small_mixed_run(self, tmp_path):
+        report = run_load(
+            clients=2,
+            jobs=3,
+            duplicate_fraction=0.67,
+            circuit="Test1",
+            scale=0.1,
+            timeout_s=300.0,
+            service_workers=0,  # inline worker: fast and fork-free
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert report.jobs == 3
+        assert report.ok == 3
+        assert report.failed == 0
+        assert report.duplicate_jobs + report.fresh_jobs == 3
+        assert report.throughput_jobs_per_s > 0
+        assert set(report.latency_s) == {"mean", "p50", "p90", "p95", "p99", "max"}
+        assert 0.0 <= report.cache_hit_ratio <= 1.0
+        # duplicates beyond the first must not re-route
+        assert report.route_stage_runs <= report.fresh_jobs + 1
+
+
+class TestCLI:
+    def test_bench_load_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "bench",
+                "load",
+                "--clients",
+                "1",
+                "--jobs",
+                "2",
+                "--duplicates",
+                "1.0",
+                "--scale",
+                "0.1",
+                "--service-workers",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        obj = json.loads(out.read_text())
+        assert obj["schema"] == "repro-bench-load/1"
+        assert obj["jobs"] == 2
+        assert "cache_hit_ratio" in obj
+        assert "jobs/s" in capsys.readouterr().out

@@ -129,12 +129,20 @@ class TestStores:
         assert back.payload == art.payload
         assert store.load("missing") is None
 
-    def test_corrupt_file_raises_clean_error(self, tmp_path):
+    def test_corrupt_file_is_skipped_with_warning(self, tmp_path):
+        """A half-written entry (killed writer) is a miss, never fatal:
+        the stage re-runs and republishes over it."""
+        from repro import obs
+
         store = ArtifactStore(tmp_path / "cache")
         (tmp_path / "cache").mkdir()
         (tmp_path / "cache" / "deadbeef.json").write_text("{not json")
-        with pytest.raises(PipelineError, match="pipeline clean"):
-            store.load("deadbeef")
+        with obs.session() as ob:
+            with pytest.warns(RuntimeWarning, match="corrupt artifact"):
+                assert store.load("deadbeef") is None
+            with pytest.warns(RuntimeWarning, match="corrupt artifact"):
+                assert store.entries() == []
+            assert ob.registry.total("store_corrupt_entries_total") == 2
 
     def test_schema_mismatch_is_a_miss(self, tmp_path):
         store = ArtifactStore(tmp_path / "cache")

@@ -105,3 +105,54 @@ class TestPipelineShowClean:
         assert "removed 7 artifacts" in out
         rc = main(["pipeline", "show", "--cache-dir", cache_dir])
         assert "empty" in capsys.readouterr().out
+
+
+class TestGCFlags:
+    def test_gc_within_budget_removes_nothing(self, cache_dir, capsys):
+        main(_run_args("Test1", cache_dir, "--scale", "0.1"))
+        capsys.readouterr()
+        rc = main(
+            [
+                "pipeline", "clean", "--cache-dir", cache_dir,
+                "--max-age-days", "30", "--max-bytes", str(10**9),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gc removed 0 artifacts" in out
+        rc = main(["pipeline", "show", "--cache-dir", cache_dir])
+        assert "empty" not in capsys.readouterr().out
+
+    def test_gc_tiny_budget_evicts(self, cache_dir, capsys):
+        main(_run_args("Test1", cache_dir, "--scale", "0.1"))
+        capsys.readouterr()
+        rc = main(
+            ["pipeline", "clean", "--cache-dir", cache_dir, "--max-bytes", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gc removed 7 artifacts" in out
+
+
+class TestCacheDirEnv:
+    def test_env_var_locates_the_store(self, tmp_path, monkeypatch, capsys):
+        envcache = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(envcache))
+        rc = main(["pipeline", "run", "Test1", "--scale", "0.1"])
+        assert rc == 0
+        assert envcache.is_dir() and list(envcache.glob("*.json"))
+        capsys.readouterr()
+        rc = main(["pipeline", "show"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert str(envcache) in out
+
+    def test_explicit_flag_beats_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        explicit = tmp_path / "explicit"
+        rc = main(
+            ["pipeline", "run", "Test1", "--scale", "0.1", "--cache-dir", str(explicit)]
+        )
+        assert rc == 0
+        assert explicit.is_dir()
+        assert not (tmp_path / "ignored").exists()

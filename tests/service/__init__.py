@@ -1,0 +1,1 @@
+"""Tests for the routing job service (``repro.service``)."""

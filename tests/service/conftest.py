@@ -1,0 +1,24 @@
+"""Shared fixtures: an embedded service on a free port."""
+
+import pytest
+
+from repro.service import RoutingService, ServiceClient
+
+
+@pytest.fixture
+def service(tmp_path):
+    """An inline-worker service (no fork — deterministic and fast);
+    multi-process serving is covered by the smoke test."""
+    svc = RoutingService(
+        port=0,
+        workers=0,
+        cache_dir=str(tmp_path / "cache"),
+        ledger=False,
+    ).start_background()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url)

@@ -1,0 +1,126 @@
+"""JobRegistry / JobState unit tests (no HTTP, no workers)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import JobRegistry, ServiceError
+from repro.service.jobs import job_event
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return JobRegistry(tmp_path / "spool")
+
+
+class TestSpool:
+    def test_identical_texts_share_one_file(self, registry):
+        a = registry.spool_design("n0 L0 1,2 -> L0 9,2\n")
+        b = registry.spool_design("n0 L0 1,2 -> L0 9,2\n")
+        assert a == b
+        assert a.read_text() == "n0 L0 1,2 -> L0 9,2\n"
+        assert len(list(registry.spool_dir.glob("*.nets"))) == 1
+
+    def test_distinct_texts_get_distinct_files(self, registry):
+        a = registry.spool_design("n0 L0 1,2 -> L0 9,2\n")
+        b = registry.spool_design("n0 L0 1,2 -> L0 8,2\n")
+        assert a != b
+
+
+class TestRegistry:
+    def test_create_and_get(self, registry):
+        job = registry.create("acme", "Test1@0.1")
+        assert job.status == "queued"
+        assert registry.get(job.job_id) is job
+        assert registry.events(job.job_id)[0]["event"] == "job_queued"
+
+    def test_unknown_job_is_404(self, registry):
+        with pytest.raises(ServiceError) as err:
+            registry.get("nope")
+        assert err.value.status == 404
+        assert isinstance(err.value, ReproError)
+
+    def test_list_filters_by_tenant(self, registry):
+        registry.create("a", "d1")
+        registry.create("b", "d2")
+        registry.create("a", "d3")
+        assert len(registry.list()) == 3
+        assert [j.design for j in registry.list(tenant="a")] == ["d1", "d3"]
+
+    def test_events_since_offset(self, registry):
+        job = registry.create("t", "d")
+        registry.apply_event(job_event("job_started", job.job_id))
+        assert len(registry.events(job.job_id)) == 2
+        assert registry.events(job.job_id, since=1)[0]["event"] == "job_started"
+
+
+class TestEventFolding:
+    def test_lifecycle_transitions(self, registry):
+        job = registry.create("t", "d")
+        assert registry.apply_event(job_event("job_started", job.job_id)) is None
+        assert job.status == "running" and job.started_unix > 0
+
+        registry.apply_event(
+            job_event(
+                "stage_end",
+                job.job_id,
+                stage="route",
+                status="run",
+                seconds=1.5,
+                bytes=10,
+                hashes={"routing": "abc"},
+            )
+        )
+        assert job.stages == [
+            {"stage": "route", "status": "run", "seconds": 1.5, "bytes": 10}
+        ]
+        assert job.artifact_hashes == {"routing": "abc"}
+
+        terminal = registry.apply_event(
+            job_event(
+                "job_done",
+                job.job_id,
+                executed=1,
+                cached=5,
+                run_id="r1",
+                counters={"x_total": 2.0},
+            )
+        )
+        assert terminal is job  # returned exactly when it *became* terminal
+        assert job.status == "done" and job.terminal
+        assert (job.executed, job.cached, job.run_id) == (1, 5, "r1")
+
+    def test_terminal_transition_reported_once(self, registry):
+        job = registry.create("t", "d")
+        assert registry.apply_event(job_event("job_done", job.job_id)) is job
+        assert registry.apply_event(job_event("job_done", job.job_id)) is None
+
+    def test_event_for_unknown_job_ignored(self, registry):
+        assert registry.apply_event(job_event("job_done", "ghost")) is None
+
+
+class TestCancellation:
+    def test_cancel_queued_fails_fast(self, registry):
+        job = registry.create("t", "d")
+        registry.cancel(job.job_id)
+        assert job.status == "cancelled"
+        assert registry.is_cancelled(job.job_id)  # sentinel for the worker
+
+    def test_cancel_running_only_drops_sentinel(self, registry):
+        job = registry.create("t", "d")
+        registry.apply_event(job_event("job_started", job.job_id))
+        registry.cancel(job.job_id)
+        assert job.status == "running"  # worker confirms via job_cancelled
+        assert registry.cancel_path(job.job_id).is_file()
+
+    def test_cancel_terminal_is_noop(self, registry):
+        job = registry.create("t", "d")
+        registry.apply_event(job_event("job_done", job.job_id))
+        registry.cancel(job.job_id)
+        assert job.status == "done"
+        assert not registry.cancel_path(job.job_id).is_file()
+
+
+class TestServiceError:
+    def test_default_status(self):
+        assert ServiceError("bad").status == 400
+        assert ServiceError("gone", status=404).status == 404

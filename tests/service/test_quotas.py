@@ -1,0 +1,54 @@
+"""Per-tenant admission control."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import TenantQuotas
+
+
+def _values(registry: MetricsRegistry):
+    return {
+        e["metric"]: e["value"]
+        for e in registry.snapshot()
+        if e["kind"] in ("counter", "gauge")
+    }
+
+
+class TestAdmission:
+    def test_limit_is_per_tenant(self):
+        q = TenantQuotas(max_active=2)
+        assert q.try_acquire("a") is None
+        assert q.try_acquire("a") is None
+        reason = q.try_acquire("a")
+        assert reason is not None and "quota" in reason
+        assert q.try_acquire("b") is None  # other tenants unaffected
+
+    def test_release_frees_a_slot(self):
+        q = TenantQuotas(max_active=1)
+        assert q.try_acquire("a") is None
+        assert q.try_acquire("a") is not None
+        q.release("a", status="done", seconds=0.5)
+        assert q.try_acquire("a") is None
+        assert q.active("a") == 1
+
+    def test_zero_disables_the_bound(self):
+        q = TenantQuotas(max_active=0)
+        for _ in range(64):
+            assert q.try_acquire("a") is None
+
+    def test_release_never_goes_negative(self):
+        q = TenantQuotas(max_active=1)
+        q.release("ghost", status="failed")
+        assert q.active("ghost") == 0
+
+
+class TestMetrics:
+    def test_families_track_lifecycle(self):
+        registry = MetricsRegistry()
+        q = TenantQuotas(max_active=1, registry=registry)
+        q.try_acquire("a")
+        q.try_acquire("a")  # rejected
+        q.release("a", status="done", seconds=1.0)
+        values = _values(registry)
+        assert values["service_jobs_submitted_total"] == 1
+        assert values["service_jobs_rejected_total"] == 1
+        assert values["service_jobs_completed_total"] == 1
+        assert values["service_jobs_active"] == 0  # gauge back to idle
