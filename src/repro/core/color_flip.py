@@ -258,8 +258,7 @@ def _color_component(
     graph: OverlayConstraintGraph, comp: Set[int], refine: bool, ColoringError
 ) -> Dict[int, Color]:
     """Contract + maximum spanning forest + DP (+ refine) for one component."""
-    edges = graph.edges_within(comp)
-    ug = _contract(edges, comp)
+    ug = graph.contract_component(comp)
     if ug is None:
         raise ColoringError("hard-constraint odd cycle: no legal coloring")
     adjacency = _maximum_spanning_forest(ug)

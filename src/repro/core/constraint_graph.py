@@ -325,3 +325,16 @@ class OverlayConstraintGraph:
                     seen.add(id(edge))
                     out.append(edge)
         return out
+
+    def contract_component(self, comp: Set[int]):
+        """Super-vertex contraction of one component (see color_flip).
+
+        Returns the contracted unit graph, or ``None`` when the
+        component's hard edges are inconsistent. The SoA backend
+        overrides this with a vectorized equivalent; flip_colors calls
+        through this hook so both backends share the downstream
+        spanning-forest + DP machinery.
+        """
+        from .color_flip import _contract
+
+        return _contract(self.edges_within(comp), comp)

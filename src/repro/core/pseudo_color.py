@@ -29,6 +29,18 @@ def pseudo_color(
 
     The chosen color is also written into ``coloring``.
     """
+    totals = getattr(graph, "incident_dp_totals", None)
+    if totals is not None:
+        # SoA backend: both color totals in one vector pass. The scalar
+        # loop below picks CORE first and replaces it only on a strictly
+        # cheaper SECOND, so the tie-break is `<` on the SECOND total.
+        # (The scalar loop's early break at HARD cannot change totals:
+        # costs are non-negative, so a total that reached inf stays inf.)
+        core_total, second_total = totals(net_id, coloring)
+        best = Color.SECOND if second_total < core_total else Color.CORE
+        coloring[net_id] = best
+        return best
+
     best_color: Optional[Color] = None
     best_cost = HARD
     for color in (Color.CORE, Color.SECOND):

@@ -31,6 +31,8 @@ from ..core import (
     ScenarioDetector,
     ScenarioType,
     flip_colors,
+    make_constraint_graph,
+    make_detector,
     pseudo_color,
 )
 from ..core.cut_conflict import CriticalCut
@@ -66,6 +68,7 @@ class SadpRouter:
         guidance: str = "auto",
         shard: str = "auto",
         kernel: str = "auto",
+        core: str = "vector",
     ) -> None:
         self.grid = grid
         self.netlist = netlist
@@ -104,6 +107,13 @@ class SadpRouter:
         if kernel not in ("python", "auto", "numba"):
             raise ValueError(f"unknown kernel mode: {kernel!r}")
         self.kernel = kernel
+        #: Constraint-engine backend ("vector" | "object") — "vector" runs
+        #: the SoA edge store, batched scenario detection, and vectorized
+        #: coloring; "object" is the bit-exact per-object reference path.
+        #: Results are identical for both values (gated in CI).
+        if core not in ("vector", "object"):
+            raise ValueError(f"unknown core backend: {core!r}")
+        self.core = core
         #: ShardPlan computed by :meth:`_resolve_workers` when the run
         #: goes sharded (reused by dispatch to avoid re-planning).
         self._shard_plan = None
@@ -117,9 +127,11 @@ class SadpRouter:
         #: every 1-b scenario forces a rip-up, as in the trim process.
         self.enable_merge = enable_merge
 
-        self.detector = ScenarioDetector(grid.num_layers)
+        detector_backend = "vector" if core == "vector" else "object"
+        graph_backend = "soa" if core == "vector" else "object"
+        self.detector = make_detector(grid.num_layers, backend=detector_backend)
         self.graphs: List[OverlayConstraintGraph] = [
-            OverlayConstraintGraph() for _ in range(grid.num_layers)
+            make_constraint_graph(graph_backend) for _ in range(grid.num_layers)
         ]
         self.colorings: List[Dict[int, Color]] = [
             {} for _ in range(grid.num_layers)
@@ -588,11 +600,18 @@ class SadpRouter:
     def _commit_inner(
         self, net_id: int, found: SearchResult, route: NetRoute
     ) -> bool:
-        for layer, x, y in found.nodes:
-            self.grid.occupy(layer, Point(x, y), net_id)
+        use_vector = self.core == "vector"
+        if use_vector:
+            # One validated bulk write + one change notification for the
+            # whole path instead of a per-cell occupy/notify loop.
+            self.grid.occupy_many(found.nodes, net_id)
+        else:
+            for layer, x, y in found.nodes:
+                self.grid.occupy(layer, Point(x, y), net_id)
 
         edges_by_layer: Dict[int, List[ConstraintEdge]] = {}
         scenario_of_edge: Dict[int, DetectedScenario] = {}
+        scenarios_by_layer: Dict[int, List[DetectedScenario]] = {}
         merge_violations: List[DetectedScenario] = []
         with obs.span("ocg_update", net_id=net_id):
             scenarios = self.detector.add_net(net_id, found.segments)
@@ -602,6 +621,11 @@ class SadpRouter:
                     # separated by a cut, and different colors are hard — the
                     # pair is undecomposable, so the net must reroute.
                     merge_violations.append(sc)
+                    continue
+                if use_vector:
+                    # SoA graphs build edge rows from the scenarios in one
+                    # table gather — no per-object ConstraintEdge needed.
+                    scenarios_by_layer.setdefault(sc.layer, []).append(sc)
                     continue
                 edge = ConstraintEdge.from_scenario(
                     sc.net_a, sc.net_b, sc.scenario, sc.a_is_tip_owner, sc.overlap
@@ -614,24 +638,26 @@ class SadpRouter:
                 self._blockers.add(sc.net_b)
             self._undo(net_id, found, offending_cells=cells)
             return False
-        offenders: List[ConstraintEdge] = []
+        offender_scs: List[DetectedScenario] = []
         with obs.span("ocg_update", net_id=net_id):
-            for layer, edges in edges_by_layer.items():
-                offenders.extend(self.graphs[layer].add_edges(edges))
+            if use_vector:
+                for layer, scs in scenarios_by_layer.items():
+                    offender_scs.extend(self.graphs[layer].add_scenarios(scs))
+            else:
+                for layer, edges in edges_by_layer.items():
+                    for edge in self.graphs[layer].add_edges(edges):
+                        offender_scs.append(scenario_of_edge[id(edge)])
             for layer in self._net_layers(found.segments):
                 self.graphs[layer].add_vertex(net_id)
 
-        if offenders:
+        if offender_scs:
             # Hard odd cycle: rip up and penalise exactly the fragments
             # whose scenarios closed the cycle (steering the reroute away
             # from the bad adjacency, not from the whole path).
-            offending_cells = []
-            for edge in offenders:
-                sc = scenario_of_edge.get(id(edge))
-                if sc is not None:
-                    offending_cells.append((sc.layer, sc.rect_a))
-                self._blockers.add(edge.other(net_id))
-            self._undo(net_id, found, offending_cells=offending_cells or None)
+            offending_cells = [(sc.layer, sc.rect_a) for sc in offender_scs]
+            for sc in offender_scs:
+                self._blockers.add(sc.net_b if sc.net_a == net_id else sc.net_a)
+            self._undo(net_id, found, offending_cells=offending_cells)
             return False
 
         # Pseudo-coloring (Fig. 19 line 11), then the cut-conflict check.
@@ -697,7 +723,13 @@ class SadpRouter:
         colors? Such combos are strictly forbidden (Section III-D)."""
         for layer in range(self.grid.num_layers):
             coloring = self.colorings[layer]
-            for edge in self.graphs[layer].edges_of(net_id):
+            graph = self.graphs[layer]
+            risk = getattr(graph, "net_has_cut_risk", None)
+            if risk is not None:
+                if risk(net_id, coloring):
+                    return True
+                continue
+            for edge in graph.edges_of(net_id):
                 cu = coloring.get(edge.u, Color.CORE)
                 cv = coloring.get(edge.v, Color.CORE)
                 if edge.has_cut_risk(cu, cv):

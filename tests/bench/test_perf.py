@@ -7,9 +7,11 @@ import pytest
 from repro import obs
 from repro.bench.perf import (
     check_against_baseline,
+    check_core_equivalence,
     check_guidance_equivalence,
     check_kernel_equivalence,
     check_parallel_equivalence,
+    full_tier_skip_reason,
     render_phase_table,
     run_perf,
 )
@@ -57,10 +59,13 @@ class TestPerfRun:
 
     def test_modes_agree_on_quality(self, payload):
         (wl,) = payload["workloads"]
-        # Equivalent implementations: identical routing quality.
+        # Equivalent implementations: identical routing quality. The
+        # reference sample ran the object core engine and the dict A*;
+        # the fast sample ran the SoA core and flat-array A*.
         assert wl["fast"]["routability_pct"] == wl["reference"]["routability_pct"]
         assert wl["fast"]["overlay_units"] == wl["reference"]["overlay_units"]
         assert wl["fast"]["expansions"] == wl["reference"]["expansions"]
+        assert check_core_equivalence(payload) == []
 
     def test_guidance_ab_fields(self, payload):
         (wl,) = payload["workloads"]
@@ -151,8 +156,16 @@ class TestKernelBench:
         assert kern["kernel_backend"] == kernel_backend_name()
         assert "kernel_speedup" in wl
         summary = payload["summary"]
-        assert "geomean_kernel_speedup" in summary
         assert summary["kernel_backend"] == kernel_backend_name()
+        if kernel_backend_name() == "interpreted":
+            # The fallback's ratio times CPython against CPython —
+            # recorded as an explicit null so trend lines on numba-free
+            # hosts are not polluted by a meaningless series.
+            assert wl["kernel_speedup"] is None
+            assert "geomean_kernel_speedup" not in summary
+        else:
+            assert wl["kernel_speedup"] > 0
+            assert "geomean_kernel_speedup" in summary
 
     def test_kernel_matches_guided_bit_for_bit(self, payload):
         (wl,) = payload["workloads"]
@@ -297,11 +310,97 @@ class TestGuidanceGate:
         assert check_guidance_equivalence(payload) == []
 
 
+class TestCoreEquivalenceGate:
+    def _payload(self, ref_overlay=3.0, ref_searches=12):
+        return {
+            "workloads": [
+                {
+                    "circuit": "Test1",
+                    "fast": {
+                        "routability_pct": 100.0,
+                        "overlay_units": 3.0,
+                        "searches": 12,
+                    },
+                    "reference": {
+                        "routability_pct": 100.0,
+                        "overlay_units": ref_overlay,
+                        "searches": ref_searches,
+                    },
+                }
+            ]
+        }
+
+    def test_identical_metrics_pass(self):
+        assert check_core_equivalence(self._payload()) == []
+
+    def test_overlay_drift_fails(self):
+        problems = check_core_equivalence(self._payload(ref_overlay=4.0))
+        assert problems and "overlay_units" in problems[0]
+
+    def test_search_count_drift_fails(self):
+        problems = check_core_equivalence(self._payload(ref_searches=13))
+        assert problems and "searches" in problems[0]
+
+    def test_passes_without_reference_sample(self):
+        payload = {"workloads": [{"circuit": "Test1", "fast": {}}]}
+        assert check_core_equivalence(payload) == []
+
+
+class TestFullTierSkip:
+    def _payload(self, reasons):
+        return {
+            "tiers": {
+                "full": {
+                    "workloads": [
+                        {
+                            "circuit": f"Test{i}",
+                            "parallel_stats": {
+                                "decision_trace": {"reason": r}
+                            },
+                        }
+                        for i, r in enumerate(reasons)
+                    ]
+                }
+            }
+        }
+
+    def test_single_core_host_skips(self):
+        payload = self._payload(["single-core host", "single-core host"])
+        assert full_tier_skip_reason(payload) == "single-core host"
+
+    def test_any_other_reason_runs_the_gate(self):
+        payload = self._payload(["single-core host", "netlist too small"])
+        assert full_tier_skip_reason(payload) is None
+
+    def test_probe_reason_counts(self):
+        payload = {
+            "tiers": {
+                "full": {
+                    "workloads": [
+                        {
+                            "circuit": "Test5",
+                            "auto_decision_probe": {
+                                "reason": "single-core host"
+                            },
+                        }
+                    ]
+                }
+            }
+        }
+        assert full_tier_skip_reason(payload) == "single-core host"
+
+    def test_no_full_tier_means_no_skip(self):
+        assert full_tier_skip_reason({"workloads": []}) is None
+
+
 class TestRegressionGate:
-    def _payload(self, speedup):
+    def _payload(self, speedup, phases=None):
+        wl = {"circuit": "Test1", "speedup": speedup}
+        if phases is not None:
+            wl["phase_speedups"] = phases
         return {
             "schema": "repro-bench-perf/1",
-            "workloads": [{"circuit": "Test1", "speedup": speedup}],
+            "workloads": [wl],
         }
 
     def test_within_tolerance_passes(self):
@@ -322,6 +421,26 @@ class TestRegressionGate:
         current = {"workloads": [{"circuit": "Test2", "speedup": 1.5}]}
         problems = check_against_baseline(current, self._payload(1.4))
         assert problems
+
+    def test_phase_ratio_regression_fails(self):
+        """A per-phase core ratio collapse fails the gate even when the
+        end-to-end speedup still passes."""
+        current = self._payload(1.40, phases={"graph": 0.7, "flip": 1.3})
+        baseline = self._payload(1.40, phases={"graph": 1.5, "flip": 1.3})
+        problems = check_against_baseline(current, baseline, tolerance=0.30)
+        assert len(problems) == 1
+        assert "graph-phase" in problems[0]
+
+    def test_phase_within_tolerance_passes(self):
+        current = self._payload(1.40, phases={"commit": 1.1})
+        baseline = self._payload(1.40, phases={"commit": 1.3})
+        assert check_against_baseline(current, baseline, 0.30) == []
+
+    def test_phases_missing_on_either_side_are_skipped(self):
+        current = self._payload(1.40, phases={"graph": 0.5})
+        baseline = self._payload(1.40)  # no phases recorded
+        assert check_against_baseline(current, baseline, 0.30) == []
+        assert check_against_baseline(baseline, current, 0.30) == []
 
 
 class TestRowsJson:

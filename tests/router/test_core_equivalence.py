@@ -1,0 +1,59 @@
+"""Vector-core vs object-core equivalence, end to end.
+
+``core="vector"`` swaps the constraint-graph/coloring/commit engine for
+the SoA edge store, the vector scenario detector, and the batched grid
+writes; ``core="object"`` keeps the one-object-per-edge reference. The
+swap is a pure representation change, so the full route_all flow —
+ripups, colorings, overlay accounting, cut-conflict elimination — must
+be bit-identical between the two on every seeded instance.
+"""
+
+import pytest
+
+from repro.bench.workloads import generate_benchmark, spec_by_name
+from repro.router import SadpRouter
+
+
+def _route(circuit: str, scale: float, seed: int, core: str):
+    spec = spec_by_name(circuit)
+    grid, nets = generate_benchmark(spec, scale=scale, seed=seed)
+    router = SadpRouter(grid, nets, core=core)
+    return router.route_all()
+
+
+def _route_signature(result):
+    return sorted(
+        (
+            net_id,
+            route.success,
+            route.ripups,
+            tuple(route.segments),
+            tuple(route.vias),
+        )
+        for net_id, route in result.routes.items()
+    )
+
+
+class TestCoreEquivalenceEndToEnd:
+    @pytest.mark.parametrize(
+        "circuit,scale",
+        [("Test1", 0.15), ("Test6", 0.15)],
+    )
+    @pytest.mark.parametrize("seed", [2014, 7])
+    def test_route_all_bit_identical(self, circuit, scale, seed):
+        obj = _route(circuit, scale, seed, core="object")
+        vec = _route(circuit, scale, seed, core="vector")
+        assert _route_signature(vec) == _route_signature(obj)
+        assert vec.colorings == obj.colorings
+        assert vec.overlay_units == obj.overlay_units
+        assert vec.overlay_nm == obj.overlay_nm
+        assert vec.hard_overlays == obj.hard_overlays
+        assert vec.cut_conflicts == obj.cut_conflicts
+        assert vec.total_ripups == obj.total_ripups
+        assert vec.color_flips == obj.color_flips
+
+    def test_core_knob_is_validated(self):
+        spec = spec_by_name("Test1")
+        grid, nets = generate_benchmark(spec, scale=0.06, seed=1)
+        with pytest.raises(ValueError):
+            SadpRouter(grid, nets, core="fancy")
